@@ -1,0 +1,29 @@
+"""Compilation-throughput benchmarks (not a paper figure).
+
+Times both pipelines on representative Table 1 benchmarks so regressions in
+compiler performance are visible; the paper's claims are about compiled-circuit
+quality, but a practical compiler also has to be fast.
+"""
+
+import pytest
+
+from repro.bench_circuits import get_benchmark
+from repro.compiler import compile_baseline, compile_trios
+from repro.hardware import johannesburg
+
+DEVICE = johannesburg()
+CASES = ["cnx_dirty-11", "cuccaro_adder-20", "grovers-9", "qaoa_complete-10"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_compile_speed_baseline(benchmark, name):
+    circuit = get_benchmark(name)
+    result = benchmark(lambda: compile_baseline(circuit, DEVICE, seed=0))
+    assert result.two_qubit_gate_count > 0
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_compile_speed_trios(benchmark, name):
+    circuit = get_benchmark(name)
+    result = benchmark(lambda: compile_trios(circuit, DEVICE, seed=0))
+    assert result.two_qubit_gate_count > 0

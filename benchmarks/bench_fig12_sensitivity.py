@@ -1,0 +1,25 @@
+"""Regenerates the error-rate sensitivity study: Figure 12 (§6.4).
+
+The compiled circuits are fixed; the device error model is scaled from today's
+Johannesburg rates (1x) up to 100x better, and the success ratio
+``p_trios / p_baseline`` is reported for each Toffoli-containing benchmark.
+"""
+
+from repro.experiments import run_sensitivity_experiment
+from repro.experiments.report import format_sensitivity
+
+FACTORS = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0]
+
+
+def test_fig12_sensitivity_to_error_rates(benchmark):
+    result = benchmark.pedantic(
+        run_sensitivity_experiment, kwargs=dict(factors=FACTORS), iterations=1, rounds=1
+    )
+    print("\n[Figure 12] p_trios / p_baseline vs error-rate improvement factor")
+    print(format_sensitivity(result))
+    for curve in result.curves.values():
+        # The Trios-vs-baseline gap is largest at today's error rates and the
+        # ratio converges toward 1 as errors improve (the paper's exponential
+        # fall-off).
+        assert abs(curve.ratios[-1] - 1.0) <= abs(curve.ratios[0] - 1.0) + 1e-9
+        assert curve.ratios[-1] >= 0.99

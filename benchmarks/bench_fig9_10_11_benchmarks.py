@@ -1,0 +1,40 @@
+"""Regenerates the simulated NISQ-benchmark comparison: Figures 9, 10 and 11 (§5.2).
+
+All Table 1 benchmarks are compiled with the baseline and with Trios onto the
+four topologies of Figure 5, and the analytic success model is evaluated at
+error rates 20x better than the 2020-08-19 Johannesburg snapshot.
+"""
+
+from repro.experiments import run_benchmark_experiment
+from repro.experiments.report import (
+    format_benchmark_normalized,
+    format_benchmark_reduction,
+    format_benchmark_success,
+)
+from repro.bench_circuits import TOFFOLI_FREE_BENCHMARKS
+
+
+def _run():
+    return run_benchmark_experiment()
+
+
+def test_fig9_10_11_benchmark_sweep(benchmark):
+    result = benchmark.pedantic(_run, iterations=1, rounds=1)
+
+    print("\n[Figure 9] Simulated success probability (20x-improved errors)")
+    print(format_benchmark_success(result))
+    print("[Figure 10] Percent fewer CNOT gates with Trios (higher is better)")
+    print(format_benchmark_reduction(result))
+    print()
+    print("[Figure 11] Trios success normalised to the baseline (higher is better)")
+    print(format_benchmark_normalized(result))
+
+    for topology in result.topologies():
+        # Trios reduces CNOTs and improves success on every topology (geomean
+        # over the Toffoli-containing benchmarks), as in the paper.
+        assert result.geomean_cnot_reduction(topology) > 0.10
+        assert result.geomean_success_ratio(topology) > 1.0
+        # Toffoli-free benchmarks are completely unchanged.
+        for name in TOFFOLI_FREE_BENCHMARKS:
+            row = result.row(topology, name)
+            assert row.baseline_cnots == row.trios_cnots

@@ -1,0 +1,15 @@
+"""Regenerates Table 1: the benchmark inventory (qubits, Toffolis, CNOTs).
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s`` to see the
+regenerated rows next to the numbers printed in the paper.
+"""
+
+from repro.bench_circuits import all_benchmark_statistics
+from repro.experiments.report import format_table1
+
+
+def test_table1_benchmark_inventory(benchmark):
+    stats = benchmark(all_benchmark_statistics)
+    print("\n[Table 1] Benchmark inventory (measured vs paper)")
+    print(format_table1(stats))
+    assert len(stats) == 11

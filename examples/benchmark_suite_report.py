@@ -1,0 +1,38 @@
+"""Regenerate the paper's evaluation tables from the command line.
+
+Prints Table 1 (benchmark inventory), Figures 9/10/11 (the four-topology
+benchmark sweep under the 20x-improved error model) and Figure 12 (sensitivity
+to error rates).  The full sweep takes a few seconds.
+
+Run with:  python examples/benchmark_suite_report.py
+"""
+
+from repro.bench_circuits import all_benchmark_statistics
+from repro.experiments import run_benchmark_experiment, run_sensitivity_experiment
+from repro.experiments.report import (
+    format_benchmark_normalized,
+    format_benchmark_reduction,
+    format_benchmark_success,
+    format_sensitivity,
+    format_table1,
+)
+
+
+def main() -> None:
+    print("[Table 1] Benchmark inventory (measured vs paper)\n")
+    print(format_table1(all_benchmark_statistics()))
+
+    print("\n\n[Figures 9-11] Baseline vs Trios on the four 20-qubit topologies\n")
+    sweep = run_benchmark_experiment()
+    print(format_benchmark_success(sweep))
+    print(format_benchmark_reduction(sweep))
+    print()
+    print(format_benchmark_normalized(sweep))
+
+    print("\n\n[Figure 12] Sensitivity to device error rates\n")
+    sensitivity = run_sensitivity_experiment(factors=[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0])
+    print(format_sensitivity(sensitivity))
+
+
+if __name__ == "__main__":
+    main()

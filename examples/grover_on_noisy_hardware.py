@@ -1,0 +1,44 @@
+"""Run Grover search through both compilers and a noisy-hardware simulation.
+
+Compiles the 9-qubit Grover benchmark (Table 1's grovers-9) for IBM
+Johannesburg with the baseline and with Trios, then samples both compiled
+circuits on the stochastic gate-failure model at near-term error rates and
+reports how often the marked item is actually found.
+
+Run with:  python examples/grover_on_noisy_hardware.py
+"""
+
+from repro.bench_circuits import grovers
+from repro.compiler import compile_baseline, compile_trios
+from repro.hardware import johannesburg, near_term_calibration
+from repro.sim import GateFailureSampler
+
+
+def main() -> None:
+    device = johannesburg()
+    calibration = near_term_calibration()
+    num_data = 5
+    marked = "1" * num_data
+    program = grovers(num_data)
+    print(f"Grover search over {num_data} qubits, marked item |{marked}>, "
+          f"{program.count_ops().get('ccx', 0)} Toffolis\n")
+
+    shots = 2000
+    for label, result in (
+        ("baseline", compile_baseline(program, device, seed=7)),
+        ("trios", compile_trios(program, device, seed=7)),
+    ):
+        sampler = GateFailureSampler(calibration, seed=42)
+        measured = result.physical_qubits_of(list(range(num_data)))
+        counts = sampler.run(result.circuit, shots=shots, measured_qubits=measured)
+        found = counts.success_rate(marked)
+        print(f"{label:9s} cnots={result.two_qubit_gate_count:4d}  "
+              f"estimated success={result.success_probability(calibration):.3f}  "
+              f"measured P(|{marked}>)={found:.3f}  ({shots} shots)")
+
+    print("\nThe ideal (noiseless) circuit finds the marked item with probability ~1.0;")
+    print("Trios' lower gate count keeps more of that signal on noisy hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro: a reproduction of "Orchestrated Trios" (ASPLOS 2021).
+
+The package implements, from scratch, the full toolchain the paper needs:
+
+* a quantum-circuit IR and standard gate library (:mod:`repro.circuits`),
+* statevector/unitary simulation, noisy samplers and the paper's analytic
+  success-probability model (:mod:`repro.sim`),
+* the four 20-qubit device topologies and the Johannesburg calibration
+  (:mod:`repro.hardware`),
+* the compiler passes — decomposition, layout, baseline routing, Trios
+  three-qubit routing, mapping-aware Toffoli decomposition, optimisation and
+  scheduling (:mod:`repro.passes`),
+* the two end-to-end pipelines compared in the paper (:mod:`repro.compiler`),
+* every benchmark circuit of Table 1 (:mod:`repro.bench_circuits`), and
+* harnesses that regenerate each figure and table (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.bench_circuits import cuccaro_adder
+    from repro.compiler import compile_baseline, compile_trios
+    from repro.hardware import johannesburg, near_term_calibration
+
+    device = johannesburg()
+    circuit = cuccaro_adder(num_bits=9)
+    base = compile_baseline(circuit, device)
+    trios = compile_trios(circuit, device)
+    print(base.two_qubit_gate_count, "->", trios.two_qubit_gate_count)
+    cal = near_term_calibration()
+    print(base.success_probability(cal), "->", trios.success_probability(cal))
+"""
+
+from .circuits import QuantumCircuit, Gate, Instruction
+from .compiler import compile_baseline, compile_trios, transpile, CompilationResult
+from .hardware import (
+    CouplingMap,
+    johannesburg,
+    grid,
+    line,
+    clusters,
+    johannesburg_aug19_2020,
+    near_term_calibration,
+    DeviceCalibration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "Gate",
+    "Instruction",
+    "compile_baseline",
+    "compile_trios",
+    "transpile",
+    "CompilationResult",
+    "CouplingMap",
+    "johannesburg",
+    "grid",
+    "line",
+    "clusters",
+    "johannesburg_aug19_2020",
+    "near_term_calibration",
+    "DeviceCalibration",
+    "__version__",
+]

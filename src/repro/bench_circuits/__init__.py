@@ -1,0 +1,65 @@
+"""Benchmark circuit generators reproducing Table 1 of the paper."""
+
+from .cnx import (
+    cnx_dirty,
+    cnx_halfborrowed,
+    cnx_logancilla,
+    cnx_inplace,
+    apply_cnx_dirty,
+    apply_cnx_logancilla,
+    apply_cnx_inplace,
+)
+from .adders import (
+    cuccaro_adder,
+    cuccaro_layout,
+    takahashi_adder,
+    takahashi_layout,
+    qft_adder,
+    qft_adder_layout,
+    AdderLayout,
+)
+from .algorithms import (
+    grovers,
+    bernstein_vazirani,
+    qaoa_complete,
+    incrementer_borrowedbit,
+)
+from .suite import (
+    PAPER_BENCHMARKS,
+    PAPER_TABLE1,
+    TOFFOLI_BENCHMARKS,
+    TOFFOLI_FREE_BENCHMARKS,
+    BenchmarkStats,
+    get_benchmark,
+    benchmark_statistics,
+    all_benchmark_statistics,
+)
+
+__all__ = [
+    "cnx_dirty",
+    "cnx_halfborrowed",
+    "cnx_logancilla",
+    "cnx_inplace",
+    "apply_cnx_dirty",
+    "apply_cnx_logancilla",
+    "apply_cnx_inplace",
+    "cuccaro_adder",
+    "cuccaro_layout",
+    "takahashi_adder",
+    "takahashi_layout",
+    "qft_adder",
+    "qft_adder_layout",
+    "AdderLayout",
+    "grovers",
+    "bernstein_vazirani",
+    "qaoa_complete",
+    "incrementer_borrowedbit",
+    "PAPER_BENCHMARKS",
+    "PAPER_TABLE1",
+    "TOFFOLI_BENCHMARKS",
+    "TOFFOLI_FREE_BENCHMARKS",
+    "BenchmarkStats",
+    "get_benchmark",
+    "benchmark_statistics",
+    "all_benchmark_statistics",
+]

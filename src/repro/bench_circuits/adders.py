@@ -1,0 +1,158 @@
+"""Quantum adders: Cuccaro, Takahashi and the Draper QFT adder (Table 1).
+
+All adders compute ``b := a + b`` over two ``n``-bit registers (little endian:
+bit 0 is the least significant).  The ripple-carry adders (Cuccaro, Takahashi)
+are Toffoli-heavy; the QFT adder contains no Toffolis at all and is included in
+the paper precisely as a control showing Trios leaves such circuits unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import BenchmarkError
+
+
+@dataclass(frozen=True)
+class AdderLayout:
+    """Qubit indices for the registers of an adder circuit."""
+
+    a: Tuple[int, ...]
+    b: Tuple[int, ...]
+    carry_in: int = -1
+    carry_out: int = -1
+
+
+def cuccaro_layout(num_bits: int) -> AdderLayout:
+    """Register layout of :func:`cuccaro_adder`: [cin, a0..an-1, b0..bn-1, cout]."""
+    a = tuple(range(1, num_bits + 1))
+    b = tuple(range(num_bits + 1, 2 * num_bits + 1))
+    return AdderLayout(a=a, b=b, carry_in=0, carry_out=2 * num_bits + 1)
+
+
+def cuccaro_adder(num_bits: int = 9) -> QuantumCircuit:
+    """The Cuccaro ripple-carry adder (CDKM, quant-ph/0410184).
+
+    Uses one carry-in ancilla and one carry-out qubit, so ``2*num_bits + 2``
+    qubits in total; ``num_bits=9`` gives the 20-qubit, 18-Toffoli instance of
+    Table 1.  Computes ``b := a + b`` with the carry written to ``cout``.
+    """
+    if num_bits < 1:
+        raise BenchmarkError("the adder needs at least one bit")
+    layout = cuccaro_layout(num_bits)
+    circuit = QuantumCircuit(2 * num_bits + 2, f"cuccaro_adder-{2 * num_bits + 2}")
+    a, b = layout.a, layout.b
+
+    def maj(x: int, y: int, z: int) -> None:
+        circuit.cx(z, y)
+        circuit.cx(z, x)
+        circuit.ccx(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        circuit.ccx(x, y, z)
+        circuit.cx(z, x)
+        circuit.cx(x, y)
+
+    chain = [layout.carry_in] + [a[i] for i in range(num_bits)]
+    for i in range(num_bits):
+        maj(chain[i], b[i], a[i])
+    circuit.cx(a[num_bits - 1], layout.carry_out)
+    for i in reversed(range(num_bits)):
+        uma(chain[i], b[i], a[i])
+    return circuit
+
+
+def takahashi_layout(num_bits: int) -> AdderLayout:
+    """Register layout of :func:`takahashi_adder`: [a0..an-1, b0..bn-1, cout, idle]."""
+    a = tuple(range(num_bits))
+    b = tuple(range(num_bits, 2 * num_bits))
+    return AdderLayout(a=a, b=b, carry_in=-1, carry_out=2 * num_bits)
+
+
+def takahashi_adder(num_bits: int = 9, pad_to: int = 20) -> QuantumCircuit:
+    """The Takahashi–Tani–Kunihiro adder (arXiv:0910.2530), no ancilla.
+
+    Computes ``b := a + b`` in place over ``2*num_bits`` qubits plus a carry-out
+    qubit.  ``num_bits=9`` with ``pad_to=20`` reproduces Table 1's 20-qubit,
+    18-Toffoli ``takahashi_adder-20`` instance (one qubit is idle, as in the
+    original benchmark suite which always targets the full 20-qubit device).
+    """
+    if num_bits < 2:
+        raise BenchmarkError("the Takahashi adder needs at least two bits")
+    num_qubits = max(2 * num_bits + 1, pad_to)
+    circuit = QuantumCircuit(num_qubits, f"takahashi_adder-{num_qubits}")
+    layout = takahashi_layout(num_bits)
+    a, b, z = list(layout.a), list(layout.b), layout.carry_out
+    n = num_bits
+    # Step 1: CNOTs a_i -> b_i for i >= 1.
+    for i in range(1, n):
+        circuit.cx(a[i], b[i])
+    # Step 2: carry ladder preparation a_i -> a_{i+1} (top uses the carry-out).
+    circuit.cx(a[n - 1], z)
+    for i in range(n - 2, 0, -1):
+        circuit.cx(a[i], a[i + 1])
+    # Step 3: forward Toffoli ladder computing carries into a.
+    for i in range(n - 1):
+        circuit.ccx(a[i], b[i], a[i + 1])
+    circuit.ccx(a[n - 1], b[n - 1], z)
+    # Step 4: backward ladder writing sums into b and uncomputing carries.
+    for i in range(n - 1, 0, -1):
+        circuit.cx(a[i], b[i])
+        circuit.ccx(a[i - 1], b[i - 1], a[i])
+    # Step 5: undo the carry ladder preparation.
+    for i in range(1, n - 1):
+        circuit.cx(a[i], a[i + 1])
+    # Step 6: final CNOTs to complete the sum bits.
+    for i in range(1, n):
+        circuit.cx(a[i], b[i])
+    circuit.cx(a[0], b[0])
+    return circuit
+
+
+def qft_adder_layout(num_bits: int) -> AdderLayout:
+    """Register layout of :func:`qft_adder`: [a0..an-1, b0..bn-1]."""
+    return AdderLayout(
+        a=tuple(range(num_bits)), b=tuple(range(num_bits, 2 * num_bits))
+    )
+
+
+def _qft(circuit: QuantumCircuit, qubits: List[int]) -> None:
+    """Quantum Fourier transform (without the final swap reordering)."""
+    n = len(qubits)
+    for i in range(n - 1, -1, -1):
+        circuit.h(qubits[i])
+        for j in range(i - 1, -1, -1):
+            circuit.cp(math.pi / (2 ** (i - j)), qubits[j], qubits[i])
+
+
+def _inverse_qft(circuit: QuantumCircuit, qubits: List[int]) -> None:
+    n = len(qubits)
+    for i in range(n):
+        for j in range(i):
+            circuit.cp(-math.pi / (2 ** (i - j)), qubits[j], qubits[i])
+        circuit.h(qubits[i])
+
+
+def qft_adder(num_bits: int = 8) -> QuantumCircuit:
+    """The Draper transform adder (Ruiz-Perez & Garcia-Escartin variant).
+
+    Computes ``b := a + b`` by rotating ``b`` into the Fourier basis, applying
+    controlled phases from ``a`` and rotating back.  Contains zero Toffoli
+    gates; ``num_bits=8`` gives the 16-qubit Table 1 instance ``qft_adder-16``.
+    """
+    if num_bits < 1:
+        raise BenchmarkError("the adder needs at least one bit")
+    layout = qft_adder_layout(num_bits)
+    circuit = QuantumCircuit(2 * num_bits, f"qft_adder-{2 * num_bits}")
+    a, b = list(layout.a), list(layout.b)
+    _qft(circuit, b)
+    # Phase kickback: bit a_j adds 2^j, i.e. rotates Fourier mode b_i by
+    # pi / 2^(i-j) for every i >= j.
+    for i in range(num_bits - 1, -1, -1):
+        for j in range(i, -1, -1):
+            circuit.cp(math.pi / (2 ** (i - j)), a[j], b[i])
+    _inverse_qft(circuit, b)
+    return circuit

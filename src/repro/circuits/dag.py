@@ -1,0 +1,143 @@
+"""A dependency DAG over circuit instructions.
+
+The DAG captures the "happens before" relation induced by shared qubits (and
+shared classical bits).  It is used by the scheduler (ASAP layering and
+duration), by the depth metric, and by the look-ahead router which needs to
+peek at gates behind the current front layer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..exceptions import CircuitError
+from .circuit import Instruction, QuantumCircuit
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """A single instruction in the DAG, identified by its index in the circuit."""
+
+    index: int
+    instruction: Instruction
+
+    @property
+    def name(self) -> str:
+        return self.instruction.name
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return self.instruction.qubits
+
+
+class CircuitDag:
+    """Directed acyclic dependency graph of a circuit's instructions."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.nodes: List[DagNode] = [
+            DagNode(i, inst) for i, inst in enumerate(circuit.instructions)
+        ]
+        self._successors: Dict[int, List[int]] = defaultdict(list)
+        self._predecessors: Dict[int, List[int]] = defaultdict(list)
+        self._build()
+
+    def _build(self) -> None:
+        last_on_wire: Dict[Tuple[str, int], int] = {}
+        for node in self.nodes:
+            wires = [("q", q) for q in node.instruction.qubits]
+            wires += [("c", c) for c in node.instruction.clbits]
+            preds: Set[int] = set()
+            for wire in wires:
+                if wire in last_on_wire:
+                    preds.add(last_on_wire[wire])
+                last_on_wire[wire] = node.index
+            for pred in preds:
+                self._successors[pred].append(node.index)
+                self._predecessors[node.index].append(pred)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def successors(self, index: int) -> List[DagNode]:
+        """Instructions that directly depend on instruction ``index``."""
+        return [self.nodes[i] for i in self._successors.get(index, [])]
+
+    def predecessors(self, index: int) -> List[DagNode]:
+        """Instructions that instruction ``index`` directly depends on."""
+        return [self.nodes[i] for i in self._predecessors.get(index, [])]
+
+    def front_layer(self) -> List[DagNode]:
+        """Instructions with no predecessors (ready to execute first)."""
+        return [node for node in self.nodes if not self._predecessors.get(node.index)]
+
+    def topological_nodes(self) -> List[DagNode]:
+        """Nodes in a valid execution order (the original circuit order)."""
+        return list(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Layering
+    # ------------------------------------------------------------------
+    def layers(self, ignore: Tuple[str, ...] = ("barrier",)) -> List[List[DagNode]]:
+        """Greedy ASAP layering: each layer holds instructions that can run in parallel."""
+        level_of_qubit: Dict[int, int] = {}
+        level_of_clbit: Dict[int, int] = {}
+        layered: Dict[int, List[DagNode]] = defaultdict(list)
+        for node in self.nodes:
+            if node.name in ignore:
+                continue
+            start = 0
+            for qubit in node.instruction.qubits:
+                start = max(start, level_of_qubit.get(qubit, 0))
+            for clbit in node.instruction.clbits:
+                start = max(start, level_of_clbit.get(clbit, 0))
+            layered[start].append(node)
+            for qubit in node.instruction.qubits:
+                level_of_qubit[qubit] = start + 1
+            for clbit in node.instruction.clbits:
+                level_of_clbit[clbit] = start + 1
+        return [layered[level] for level in sorted(layered)]
+
+    def depth(self) -> int:
+        """Number of layers (same as ``QuantumCircuit.depth``)."""
+        return len(self.layers())
+
+    # ------------------------------------------------------------------
+    # Critical path with weighted durations
+    # ------------------------------------------------------------------
+    def weighted_depth(self, duration_of) -> float:
+        """Length of the critical path where each node costs ``duration_of(instruction)``.
+
+        Args:
+            duration_of: Callable mapping an :class:`Instruction` to a float
+                duration.  Barriers should be given zero duration.
+
+        Returns:
+            Total duration of the critical path (the schedule makespan under
+            ASAP scheduling with unlimited parallelism).
+        """
+        finish_time: Dict[int, float] = {}
+        makespan = 0.0
+        ready_qubit: Dict[int, float] = {}
+        ready_clbit: Dict[int, float] = {}
+        for node in self.nodes:
+            start = 0.0
+            for qubit in node.instruction.qubits:
+                start = max(start, ready_qubit.get(qubit, 0.0))
+            for clbit in node.instruction.clbits:
+                start = max(start, ready_clbit.get(clbit, 0.0))
+            end = start + float(duration_of(node.instruction))
+            finish_time[node.index] = end
+            for qubit in node.instruction.qubits:
+                ready_qubit[qubit] = end
+            for clbit in node.instruction.clbits:
+                ready_clbit[clbit] = end
+            makespan = max(makespan, end)
+        return makespan
+
+
+def circuit_layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
+    """Convenience wrapper returning layers of instructions for ``circuit``."""
+    return [[node.instruction for node in layer] for layer in CircuitDag(circuit).layers()]

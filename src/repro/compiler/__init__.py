@@ -1,0 +1,13 @@
+"""End-to-end compilation pipelines (baseline and Orchestrated Trios)."""
+
+from .pipeline import compile_baseline, compile_trios, transpile
+from .result import CompilationResult, gate_reduction, check_connectivity
+
+__all__ = [
+    "compile_baseline",
+    "compile_trios",
+    "transpile",
+    "CompilationResult",
+    "gate_reduction",
+    "check_connectivity",
+]

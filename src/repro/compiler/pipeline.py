@@ -1,0 +1,249 @@
+"""The two end-to-end compilation pipelines compared in the paper.
+
+:func:`compile_baseline` is the conventional flow of Figure 2a (the paper's
+"Qiskit" baseline): fully decompose to one- and two-qubit gates, place, route
+pairs, optimise lightly.
+
+:func:`compile_trios` is the Orchestrated Trios flow of Figure 2b: decompose
+everything *except* Toffolis, place, route Toffolis as three-qubit units, then
+run the mapping-aware second decomposition, and finally the same light
+optimisation.
+
+Both return a :class:`~repro.compiler.result.CompilationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import TranspilerError
+from ..hardware.calibration import DeviceCalibration
+from ..hardware.topology import CouplingMap
+from ..passes.base import BasePass, PassManager, PropertySet
+from ..passes.decompose import DecomposeToBasisPass
+from ..passes.layout import (
+    FixedLayoutPass,
+    GreedyInteractionLayoutPass,
+    Layout,
+    NoiseAwareLayoutPass,
+    TrivialLayoutPass,
+)
+from ..passes.optimization import (
+    CancelAdjacentInversesPass,
+    Consolidate1qRunsPass,
+    DecomposeSwapsPass,
+    RemoveIdentitiesPass,
+)
+from ..passes.routing import GreedySwapRouter, LegalizationRouter
+from ..passes.toffoli import MappingAwareToffoliDecomposePass, ToffoliDecomposePass
+from ..passes.trios_routing import TriosRouter
+from .result import CompilationResult, check_connectivity
+
+LayoutSpec = Union[str, Layout, Mapping[int, int]]
+
+
+def _layout_pass(
+    layout: LayoutSpec,
+    coupling_map: CouplingMap,
+    calibration: Optional[DeviceCalibration],
+) -> BasePass:
+    """Build the placement pass from a layout specification.
+
+    ``layout`` may be ``"trivial"``, ``"greedy"``, ``"noise"``, an explicit
+    :class:`Layout`, or a logical→physical mapping dict.
+    """
+    if isinstance(layout, Layout):
+        return FixedLayoutPass(coupling_map, layout.to_dict())
+    if isinstance(layout, Mapping):
+        return FixedLayoutPass(coupling_map, layout)
+    if layout == "trivial":
+        return TrivialLayoutPass(coupling_map)
+    if layout == "greedy":
+        return GreedyInteractionLayoutPass(coupling_map)
+    if layout == "noise":
+        if calibration is None:
+            raise TranspilerError("noise-aware layout requires a calibration")
+        return NoiseAwareLayoutPass(coupling_map, calibration)
+    raise TranspilerError(f"unknown layout specification {layout!r}")
+
+
+def _optimization_passes(optimize: bool) -> list:
+    if not optimize:
+        return [DecomposeSwapsPass()]
+    return [
+        DecomposeSwapsPass(),
+        CancelAdjacentInversesPass(),
+        Consolidate1qRunsPass(),
+        RemoveIdentitiesPass(),
+    ]
+
+
+def _finish(
+    circuit: QuantumCircuit,
+    properties: PropertySet,
+    coupling_map: CouplingMap,
+    method: str,
+    source_name: str,
+    validate: bool,
+) -> CompilationResult:
+    if validate:
+        violations = check_connectivity(circuit, coupling_map)
+        if violations:
+            raise TranspilerError(
+                f"compiled circuit violates the coupling map: {violations[:3]}"
+            )
+    return CompilationResult(
+        circuit=circuit,
+        coupling_map=coupling_map,
+        method=method,
+        initial_layout=properties["initial_layout"],
+        final_layout=properties["final_layout"],
+        swaps_inserted=properties.get("swaps_inserted", 0),
+        source_name=source_name,
+        properties=properties,
+    )
+
+
+def compile_baseline(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap,
+    *,
+    toffoli_mode: str = "6cnot",
+    layout: LayoutSpec = "greedy",
+    calibration: Optional[DeviceCalibration] = None,
+    noise_aware: bool = False,
+    routing: str = "stochastic",
+    seed: Optional[int] = 2021,
+    optimize: bool = True,
+    validate: bool = True,
+) -> CompilationResult:
+    """Conventional compilation (Figure 2a): decompose everything, then route pairs.
+
+    Args:
+        circuit: The logical input program.
+        coupling_map: Target device connectivity.
+        toffoli_mode: Toffoli decomposition used up front — ``"6cnot"`` (the
+            Qiskit default of Figures 6/7) or ``"8cnot"``.
+        layout: Placement strategy or explicit initial layout.
+        calibration: Device calibration; required for noise-aware modes.
+        noise_aware: Use ``-log`` CNOT-success edge weights when routing.
+        routing: ``"stochastic"`` models Qiskit 0.14's stochastic swap policy
+            (the paper's baseline); ``"greedy"`` is a deterministic
+            shortest-path router (a stronger baseline, useful for ablations).
+        seed: RNG seed for the stochastic routing policy.
+        optimize: Apply the light clean-up passes (CNOT cancellation, 1q
+            consolidation) after routing.
+        validate: Verify the result respects the coupling map.
+    """
+    if routing not in ("stochastic", "greedy"):
+        raise TranspilerError(f"unknown routing policy {routing!r}")
+    edge_weights = None
+    if noise_aware:
+        if calibration is None:
+            raise TranspilerError("noise-aware routing requires a calibration")
+        edge_weights = calibration.edge_weight_neg_log_success(coupling_map)
+    passes = [
+        DecomposeToBasisPass(keep=(), toffoli_mode=toffoli_mode),
+        _layout_pass(layout, coupling_map, calibration),
+        GreedySwapRouter(
+            coupling_map,
+            edge_weights=edge_weights,
+            stochastic=(routing == "stochastic"),
+            seed=seed,
+        ),
+        *_optimization_passes(optimize),
+    ]
+    compiled, properties = PassManager(passes).run(circuit)
+    method = f"baseline-{toffoli_mode}"
+    return _finish(compiled, properties, coupling_map, method, circuit.name, validate)
+
+
+def compile_trios(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap,
+    *,
+    second_decomposition: str = "mapping_aware",
+    layout: LayoutSpec = "greedy",
+    calibration: Optional[DeviceCalibration] = None,
+    noise_aware: bool = False,
+    overlap_optimization: bool = True,
+    routing: str = "stochastic",
+    seed: Optional[int] = 2021,
+    optimize: bool = True,
+    validate: bool = True,
+) -> CompilationResult:
+    """Orchestrated Trios compilation (Figure 2b).
+
+    Args:
+        circuit: The logical input program.
+        coupling_map: Target device connectivity.
+        second_decomposition: ``"mapping_aware"`` (the Trios contribution:
+            6-CNOT on triangles, 8-CNOT on lines), or a fixed ``"6cnot"`` /
+            ``"8cnot"`` for the ablation configurations of Figures 6/7.
+        layout: Placement strategy or explicit initial layout.
+        calibration: Device calibration; required for noise-aware modes.
+        noise_aware: Use ``-log`` CNOT-success edge weights when routing.
+        overlap_optimization: Stop the second routed qubit early when the trio
+            already forms a connected line (the paper's SWAP-saving check).
+        routing: Policy for one- and two-qubit gates — Trios reuses the same
+            underlying router as the baseline (§4), so this defaults to the
+            same ``"stochastic"`` policy; Toffoli-free circuits then compile
+            identically under both pipelines, as the paper requires.
+        seed: RNG seed for the stochastic routing policy.
+        optimize: Apply the light clean-up passes after decomposition.
+        validate: Verify the result respects the coupling map.
+    """
+    if second_decomposition not in ("mapping_aware", "6cnot", "8cnot"):
+        raise TranspilerError(
+            f"unknown second_decomposition {second_decomposition!r}"
+        )
+    if routing not in ("stochastic", "greedy"):
+        raise TranspilerError(f"unknown routing policy {routing!r}")
+    edge_weights = None
+    if noise_aware:
+        if calibration is None:
+            raise TranspilerError("noise-aware routing requires a calibration")
+        edge_weights = calibration.edge_weight_neg_log_success(coupling_map)
+    if second_decomposition == "mapping_aware":
+        second_pass: BasePass = MappingAwareToffoliDecomposePass(coupling_map)
+    else:
+        second_pass = ToffoliDecomposePass(mode=second_decomposition)
+    passes = [
+        DecomposeToBasisPass(keep=("ccx", "ccz")),
+        _layout_pass(layout, coupling_map, calibration),
+        TriosRouter(
+            coupling_map,
+            edge_weights=edge_weights,
+            overlap_optimization=overlap_optimization,
+            stochastic=(routing == "stochastic"),
+            seed=seed,
+        ),
+        second_pass,
+        # After a fixed-mode second decomposition some CNOTs may be between
+        # non-coupled qubits; the legalisation router fixes them.  For the
+        # mapping-aware decomposition it inserts zero SWAPs.
+        LegalizationRouter(coupling_map, edge_weights=edge_weights),
+        *_optimization_passes(optimize),
+    ]
+    compiled, properties = PassManager(passes).run(circuit)
+    method = f"trios-{second_decomposition}"
+    return _finish(compiled, properties, coupling_map, method, circuit.name, validate)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap,
+    method: str = "trios",
+    **options,
+) -> CompilationResult:
+    """Compile with either pipeline, selected by ``method``.
+
+    ``method`` is ``"trios"`` or ``"baseline"``; all keyword options are passed
+    through to :func:`compile_trios` / :func:`compile_baseline`.
+    """
+    if method == "trios":
+        return compile_trios(circuit, coupling_map, **options)
+    if method == "baseline":
+        return compile_baseline(circuit, coupling_map, **options)
+    raise TranspilerError(f"unknown compilation method {method!r}")

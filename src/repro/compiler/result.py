@@ -1,0 +1,132 @@
+"""Compilation results and the metrics the paper reports.
+
+A :class:`CompilationResult` bundles the final hardware-basis circuit with the
+layouts and bookkeeping produced by the pass pipeline, and exposes the metrics
+used throughout the evaluation: two-qubit gate count (§2.5), depth, scheduled
+duration and the analytic success-probability estimate (§2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import TranspilerError
+from ..hardware.calibration import DeviceCalibration
+from ..hardware.topology import CouplingMap
+from ..passes.base import PropertySet
+from ..passes.layout import Layout
+from ..passes.scheduling import asap_schedule
+from ..sim.estimator import SuccessEstimate, estimate_success
+
+
+@dataclass
+class CompilationResult:
+    """The output of :func:`repro.compiler.pipeline.transpile` and friends."""
+
+    circuit: QuantumCircuit
+    coupling_map: CouplingMap
+    method: str
+    initial_layout: Layout
+    final_layout: Layout
+    swaps_inserted: int
+    source_name: str = ""
+    properties: PropertySet = field(default_factory=PropertySet)
+
+    # ------------------------------------------------------------------
+    # Gate metrics
+    # ------------------------------------------------------------------
+    def gate_counts(self) -> Dict[str, int]:
+        """Histogram of gate names in the compiled circuit."""
+        return self.circuit.count_ops()
+
+    @property
+    def two_qubit_gate_count(self) -> int:
+        """Total number of two-qubit gates (CNOTs), the paper's primary proxy metric."""
+        return self.circuit.two_qubit_gate_count(count_swap_as=3)
+
+    @property
+    def cnot_count(self) -> int:
+        """Alias for :attr:`two_qubit_gate_count`."""
+        return self.two_qubit_gate_count
+
+    @property
+    def depth(self) -> int:
+        """Depth of the compiled circuit."""
+        return self.circuit.depth()
+
+    # ------------------------------------------------------------------
+    # Time / noise metrics
+    # ------------------------------------------------------------------
+    def duration(self, calibration: DeviceCalibration) -> float:
+        """ASAP-scheduled makespan in microseconds."""
+        return asap_schedule(self.circuit.without(["barrier"]), calibration).duration
+
+    def success_estimate(
+        self, calibration: DeviceCalibration, include_readout: bool = True
+    ) -> SuccessEstimate:
+        """The paper's analytic success-probability estimate for this circuit."""
+        return estimate_success(
+            self.circuit.without(["barrier"]), calibration, include_readout=include_readout
+        )
+
+    def success_probability(
+        self, calibration: DeviceCalibration, include_readout: bool = True
+    ) -> float:
+        """Shorthand for ``success_estimate(...).probability``."""
+        return self.success_estimate(calibration, include_readout).probability
+
+    # ------------------------------------------------------------------
+    def physical_qubits_of(self, logical_qubits) -> list:
+        """Final physical positions of the given logical qubits (after routing)."""
+        return [self.final_layout.physical(q) for q in logical_qubits]
+
+    def summary(self) -> Dict[str, object]:
+        """A compact, printable summary of the compilation."""
+        return {
+            "method": self.method,
+            "source": self.source_name,
+            "device": self.coupling_map.name,
+            "two_qubit_gates": self.two_qubit_gate_count,
+            "depth": self.depth,
+            "swaps_inserted": self.swaps_inserted,
+            "gate_counts": self.gate_counts(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompilationResult(method={self.method!r}, source={self.source_name!r}, "
+            f"device={self.coupling_map.name!r}, cnots={self.two_qubit_gate_count}, "
+            f"depth={self.depth}, swaps={self.swaps_inserted})"
+        )
+
+
+def gate_reduction(baseline: CompilationResult, improved: CompilationResult) -> float:
+    """Fractional two-qubit gate reduction, the metric of Figure 10.
+
+    Returns ``1 - improved/baseline`` so 0.35 means "35% fewer CNOT gates".
+    """
+    base = baseline.two_qubit_gate_count
+    if base == 0:
+        return 0.0
+    return 1.0 - improved.two_qubit_gate_count / base
+
+
+def check_connectivity(circuit: QuantumCircuit, coupling_map: CouplingMap) -> list:
+    """Return the list of two-qubit instructions that violate the coupling map.
+
+    An empty list means the circuit is executable on the device (every CNOT or
+    SWAP acts on a coupled pair).  Compiled circuits must always pass this.
+    """
+    violations = []
+    for instruction in circuit.instructions:
+        if not instruction.gate.is_unitary:
+            continue
+        if instruction.gate.num_qubits == 2:
+            a, b = instruction.qubits
+            if not coupling_map.are_adjacent(a, b):
+                violations.append(instruction)
+        elif instruction.gate.num_qubits >= 3:
+            violations.append(instruction)
+    return violations

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also catching programming errors
+(``TypeError``, ``KeyError``, ...) from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid circuit operations."""
+
+
+class GateError(ReproError):
+    """Raised when a gate is constructed or applied incorrectly."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute the given circuit."""
+
+
+class HardwareError(ReproError):
+    """Raised for invalid hardware topology or calibration data."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a compiler pass cannot transform a circuit."""
+
+
+class RoutingError(TranspilerError):
+    """Raised when the router cannot make interacting qubits adjacent."""
+
+
+class LayoutError(TranspilerError):
+    """Raised for invalid logical-to-physical qubit layouts."""
+
+
+class ScheduleError(TranspilerError):
+    """Raised when a circuit cannot be scheduled."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark circuit generator receives invalid parameters."""

@@ -1,0 +1,144 @@
+"""The simulated NISQ-benchmark experiment (paper §5.2, Figures 9, 10 and 11).
+
+Every Table 1 benchmark is compiled with the baseline and with Trios onto each
+of the four 20-qubit topologies of Figure 5, and the analytic success model
+(§2.6) is evaluated with error rates 20x better than the 2020-08-19
+Johannesburg calibration — exactly the setup the paper simulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..bench_circuits.suite import (
+    PAPER_BENCHMARKS,
+    TOFFOLI_BENCHMARKS,
+    TOFFOLI_FREE_BENCHMARKS,
+    get_benchmark,
+)
+from ..compiler.pipeline import compile_baseline, compile_trios
+from ..compiler.result import CompilationResult
+from ..exceptions import ReproError
+from ..hardware.calibration import DeviceCalibration, near_term_calibration
+from ..hardware.library import PAPER_TOPOLOGIES
+from ..hardware.topology import CouplingMap
+from .stats import geometric_mean, percent_reduction
+
+
+@dataclass
+class BenchmarkComparison:
+    """Baseline-vs-Trios numbers for one benchmark on one topology."""
+
+    benchmark: str
+    topology: str
+    baseline_cnots: int
+    trios_cnots: int
+    baseline_success: float
+    trios_success: float
+    baseline_depth: int
+    trios_depth: int
+
+    @property
+    def cnot_reduction(self) -> float:
+        """Figure 10's metric: fraction of CNOTs removed by Trios."""
+        return percent_reduction(self.baseline_cnots, self.trios_cnots)
+
+    @property
+    def success_ratio(self) -> float:
+        """Figure 11's metric: ``p_trios / p_baseline``."""
+        if self.baseline_success <= 0:
+            return float("inf") if self.trios_success > 0 else 1.0
+        return self.trios_success / self.baseline_success
+
+
+@dataclass
+class BenchmarkExperimentResult:
+    """All comparisons, indexed by topology label then benchmark label."""
+
+    calibration_name: str
+    comparisons: Dict[str, Dict[str, BenchmarkComparison]] = field(default_factory=dict)
+
+    def topologies(self) -> List[str]:
+        return list(self.comparisons)
+
+    def row(self, topology: str, benchmark: str) -> BenchmarkComparison:
+        return self.comparisons[topology][benchmark]
+
+    # Aggregates over the Toffoli-containing benchmarks, as in the figures.
+    def geomean_cnot_reduction(self, topology: str) -> float:
+        rows = self._toffoli_rows(topology)
+        return 1.0 - geometric_mean(
+            max(r.trios_cnots, 1) / max(r.baseline_cnots, 1) for r in rows
+        )
+
+    def geomean_success(self, topology: str, method: str) -> float:
+        rows = self._toffoli_rows(topology)
+        if method == "baseline":
+            return geometric_mean(r.baseline_success for r in rows)
+        if method == "trios":
+            return geometric_mean(r.trios_success for r in rows)
+        raise ReproError(f"unknown method {method!r}")
+
+    def geomean_success_ratio(self, topology: str) -> float:
+        rows = self._toffoli_rows(topology)
+        return geometric_mean(min(r.success_ratio, 1e9) for r in rows)
+
+    def _toffoli_rows(self, topology: str) -> List[BenchmarkComparison]:
+        table = self.comparisons[topology]
+        return [table[name] for name in table if name in TOFFOLI_BENCHMARKS]
+
+
+def compare_benchmark(
+    benchmark: str,
+    coupling_map: CouplingMap,
+    calibration: DeviceCalibration,
+    seed: int = 11,
+) -> BenchmarkComparison:
+    """Compile one benchmark with both pipelines and evaluate the success model."""
+    circuit = get_benchmark(benchmark)
+    baseline = compile_baseline(circuit, coupling_map, seed=seed)
+    # Same routing policy and seed as the baseline so that Toffoli-free
+    # circuits compile identically (the paper's "no effect" control).
+    trios = compile_trios(circuit, coupling_map, seed=seed)
+    return BenchmarkComparison(
+        benchmark=benchmark,
+        topology=coupling_map.name,
+        baseline_cnots=baseline.two_qubit_gate_count,
+        trios_cnots=trios.two_qubit_gate_count,
+        baseline_success=baseline.success_probability(calibration),
+        trios_success=trios.success_probability(calibration),
+        baseline_depth=baseline.depth,
+        trios_depth=trios.depth,
+    )
+
+
+def run_benchmark_experiment(
+    topologies: Optional[Mapping[str, Callable[[], CouplingMap]]] = None,
+    calibration: Optional[DeviceCalibration] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 11,
+) -> BenchmarkExperimentResult:
+    """Run the full Figures 9-11 sweep.
+
+    Args:
+        topologies: Mapping from label to topology builder; defaults to the
+            paper's four devices.
+        calibration: Error model; defaults to 20x-improved Johannesburg.
+        benchmarks: Benchmark labels to include; defaults to all of Table 1.
+        seed: Seed for the baseline's stochastic routing.
+    """
+    topologies = topologies or PAPER_TOPOLOGIES
+    calibration = calibration or near_term_calibration()
+    benchmarks = list(benchmarks or PAPER_BENCHMARKS)
+    result = BenchmarkExperimentResult(calibration_name=calibration.name)
+    for label, builder in topologies.items():
+        coupling_map = builder()
+        table: Dict[str, BenchmarkComparison] = {}
+        for benchmark in benchmarks:
+            circuit_qubits = get_benchmark(benchmark).num_qubits
+            if circuit_qubits > coupling_map.num_qubits:
+                continue
+            table[benchmark] = compare_benchmark(benchmark, coupling_map, calibration, seed)
+        result.comparisons[label] = table
+    return result

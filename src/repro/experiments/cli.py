@@ -1,0 +1,130 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table1
+    python -m repro toffoli --triplets 35 --shots 2048
+    python -m repro benchmarks
+    python -m repro sensitivity
+    python -m repro all
+
+Each subcommand prints the corresponding table/figure data as plain text (the
+same formatting used by the pytest-benchmark harness under ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..bench_circuits import all_benchmark_statistics
+from .benchmarks import run_benchmark_experiment
+from .report import (
+    format_benchmark_normalized,
+    format_benchmark_reduction,
+    format_benchmark_success,
+    format_sensitivity,
+    format_table1,
+    format_toffoli_gate_counts,
+    format_toffoli_normalized,
+    format_toffoli_success,
+)
+from .sensitivity import run_sensitivity_experiment
+from .toffoli import run_toffoli_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the Orchestrated Trios paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="Table 1: benchmark inventory")
+
+    toffoli = subparsers.add_parser(
+        "toffoli", help="Figures 6-8: single-Toffoli experiment on Johannesburg"
+    )
+    toffoli.add_argument("--triplets", type=int, default=35,
+                         help="number of random qubit triplets (default 35)")
+    toffoli.add_argument("--shots", type=int, default=2048,
+                         help="shots per compiled circuit (default 2048)")
+    toffoli.add_argument("--seed", type=int, default=0, help="random seed")
+
+    benchmarks = subparsers.add_parser(
+        "benchmarks", help="Figures 9-11: benchmark suite on the four topologies"
+    )
+    benchmarks.add_argument("--seed", type=int, default=11, help="routing seed")
+
+    sensitivity = subparsers.add_parser(
+        "sensitivity", help="Figure 12: sensitivity to device error rates"
+    )
+    sensitivity.add_argument(
+        "--factors", type=float, nargs="+",
+        default=[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
+        help="error-rate improvement factors",
+    )
+
+    subparsers.add_parser("all", help="Run everything (may take a minute)")
+    return parser
+
+
+def _run_table1() -> None:
+    print("[Table 1] Benchmark inventory (measured vs paper)\n")
+    print(format_table1(all_benchmark_statistics()))
+
+
+def _run_toffoli(triplets: int, shots: int, seed: int) -> None:
+    result = run_toffoli_experiment(num_triplets=triplets, shots=shots, seed=seed)
+    print("[Figure 7] CNOT gate counts\n")
+    print(format_toffoli_gate_counts(result))
+    print("\n[Figure 6] Success probabilities\n")
+    print(format_toffoli_success(result))
+    print("\n[Figure 8] Success normalised to the baseline\n")
+    print(format_toffoli_normalized(result))
+    print(f"\nGeomean gate reduction: {result.gate_reduction() * 100:.1f}% (paper: 35%)")
+    print(f"Geomean success increase: {(result.geomean_improvement() - 1) * 100:.1f}% "
+          f"(paper: 23%)")
+
+
+def _run_benchmarks(seed: int) -> None:
+    result = run_benchmark_experiment(seed=seed)
+    print("[Figure 9] Simulated success probabilities\n")
+    print(format_benchmark_success(result))
+    print("[Figure 10] CNOT reduction\n")
+    print(format_benchmark_reduction(result))
+    print("\n[Figure 11] Success normalised to the baseline\n")
+    print(format_benchmark_normalized(result))
+
+
+def _run_sensitivity(factors: Sequence[float]) -> None:
+    result = run_sensitivity_experiment(factors=list(factors))
+    print("[Figure 12] p_trios / p_baseline vs error-rate improvement\n")
+    print(format_sensitivity(result))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        _run_table1()
+    elif args.command == "toffoli":
+        _run_toffoli(args.triplets, args.shots, args.seed)
+    elif args.command == "benchmarks":
+        _run_benchmarks(args.seed)
+    elif args.command == "sensitivity":
+        _run_sensitivity(args.factors)
+    elif args.command == "all":
+        _run_table1()
+        print("\n")
+        _run_toffoli(triplets=20, shots=1024, seed=0)
+        print("\n")
+        _run_benchmarks(seed=11)
+        print("\n")
+        _run_sensitivity([1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0])
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

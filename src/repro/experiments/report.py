@@ -1,0 +1,154 @@
+"""Plain-text reports mirroring the paper's tables and figure captions.
+
+Every formatter takes the structured result of an experiment harness and
+returns a printable string; the benchmark harness under ``benchmarks/`` and the
+example scripts use these to show the regenerated rows/series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..bench_circuits.suite import PAPER_TABLE1, BenchmarkStats
+from .benchmarks import BenchmarkExperimentResult
+from .sensitivity import SensitivityResult
+from .toffoli import CONFIGURATIONS, ToffoliExperimentResult
+
+
+def _format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table1(stats: Sequence[BenchmarkStats]) -> str:
+    """Table 1: benchmark inventory, measured vs. the paper's printed numbers."""
+    rows = []
+    for stat in stats:
+        paper = PAPER_TABLE1.get(stat.name, {})
+        rows.append(
+            (
+                stat.name,
+                stat.qubits,
+                paper.get("qubits", "-"),
+                stat.toffolis,
+                paper.get("toffolis", "-"),
+                stat.cnots_after_8cnot_decomposition,
+                paper.get("cnots", "-"),
+            )
+        )
+    headers = ("benchmark", "qubits", "(paper)", "toffolis", "(paper)", "cnots", "(paper)")
+    return _format_table(headers, rows)
+
+
+def format_toffoli_gate_counts(result: ToffoliExperimentResult) -> str:
+    """Figure 7: CNOT counts per triplet for the four configurations."""
+    headers = ("triplet",) + CONFIGURATIONS
+    rows = [
+        (row.label,) + tuple(row.cnot_counts[c] for c in CONFIGURATIONS)
+        for row in result.rows
+    ]
+    rows.append(
+        ("geo-mean",)
+        + tuple(f"{result.geomean_cnots(c):.1f}" for c in CONFIGURATIONS)
+    )
+    return _format_table(headers, rows)
+
+
+def format_toffoli_success(result: ToffoliExperimentResult) -> str:
+    """Figure 6: success probabilities per triplet for the four configurations."""
+    headers = ("triplet",) + CONFIGURATIONS
+    rows = [
+        (row.label,) + tuple(f"{row.success_rates[c]:.3f}" for c in CONFIGURATIONS)
+        for row in result.rows
+    ]
+    rows.append(
+        ("geo-mean",)
+        + tuple(f"{result.geomean_success(c):.3f}" for c in CONFIGURATIONS)
+    )
+    return _format_table(headers, rows)
+
+
+def format_toffoli_normalized(result: ToffoliExperimentResult) -> str:
+    """Figure 8: Trios success normalised to the Qiskit baseline, per triplet."""
+    headers = ("triplet", "p_trios / p_baseline")
+    rows = [(row.label, f"{row.improvement():.2f}") for row in result.rows]
+    rows.append(("geo-mean", f"{result.geomean_improvement():.2f}"))
+    return _format_table(headers, rows)
+
+
+def format_benchmark_success(result: BenchmarkExperimentResult) -> str:
+    """Figure 9: simulated success probability, baseline vs Trios, per topology."""
+    lines: List[str] = []
+    for topology in result.topologies():
+        table = result.comparisons[topology]
+        headers = ("benchmark", "baseline", "trios")
+        rows = [
+            (name, f"{cmp.baseline_success:.4f}", f"{cmp.trios_success:.4f}")
+            for name, cmp in table.items()
+        ]
+        rows.append(
+            (
+                "geo-mean (toffoli only)",
+                f"{result.geomean_success(topology, 'baseline'):.4f}",
+                f"{result.geomean_success(topology, 'trios'):.4f}",
+            )
+        )
+        lines.append(f"== {topology} ==")
+        lines.append(_format_table(headers, rows))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_benchmark_reduction(result: BenchmarkExperimentResult) -> str:
+    """Figure 10: percent fewer CNOT gates with Trios, per topology."""
+    topologies = result.topologies()
+    headers = ("benchmark",) + tuple(topologies)
+    benchmarks = list(result.comparisons[topologies[0]])
+    rows = []
+    for name in benchmarks:
+        row = [name]
+        for topology in topologies:
+            comparison = result.comparisons[topology].get(name)
+            row.append("-" if comparison is None else f"{comparison.cnot_reduction * 100:.1f}%")
+        rows.append(row)
+    rows.append(
+        ["geo-mean (toffoli only)"]
+        + [f"{result.geomean_cnot_reduction(t) * 100:.1f}%" for t in topologies]
+    )
+    return _format_table(headers, rows)
+
+
+def format_benchmark_normalized(result: BenchmarkExperimentResult) -> str:
+    """Figure 11: Trios success normalised to the baseline, per topology."""
+    topologies = result.topologies()
+    headers = ("benchmark",) + tuple(topologies)
+    benchmarks = list(result.comparisons[topologies[0]])
+    rows = []
+    for name in benchmarks:
+        row = [name]
+        for topology in topologies:
+            comparison = result.comparisons[topology].get(name)
+            row.append("-" if comparison is None else f"{comparison.success_ratio:.2f}x")
+        rows.append(row)
+    rows.append(
+        ["geo-mean (toffoli only)"]
+        + [f"{result.geomean_success_ratio(t):.2f}x" for t in topologies]
+    )
+    return _format_table(headers, rows)
+
+
+def format_sensitivity(result: SensitivityResult) -> str:
+    """Figure 12: success ratio vs error-rate improvement factor, per benchmark."""
+    headers = ("benchmark",) + tuple(f"{f:.1f}x" for f in result.factors)
+    rows = []
+    for name, curve in result.curves.items():
+        rows.append((name,) + tuple(f"{r:.2f}" for r in curve.ratios))
+    return _format_table(headers, rows)

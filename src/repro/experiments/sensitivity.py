@@ -1,0 +1,87 @@
+"""Error-rate sensitivity study (paper §6.4, Figure 12).
+
+For a range of error-rate improvement factors (1x = today's Johannesburg,
+20x = the near-term model used in Figures 9-11, up to 100x), the compiled
+baseline and Trios circuits are re-evaluated under the scaled calibration and
+the success ratio ``p_trios / p_baseline`` is reported per benchmark.  The
+circuits themselves are compiled once — only the error model changes — exactly
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bench_circuits.suite import TOFFOLI_BENCHMARKS, get_benchmark
+from ..compiler.pipeline import compile_baseline, compile_trios
+from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
+from ..hardware.library import johannesburg
+from ..hardware.topology import CouplingMap
+
+
+@dataclass
+class SensitivityCurve:
+    """Success-ratio curve for one benchmark over the improvement factors."""
+
+    benchmark: str
+    factors: List[float]
+    ratios: List[float]
+
+    def ratio_at(self, factor: float) -> float:
+        """Ratio at the factor closest to ``factor``."""
+        index = int(np.argmin([abs(f - factor) for f in self.factors]))
+        return self.ratios[index]
+
+
+@dataclass
+class SensitivityResult:
+    """Figure 12: one curve per Toffoli-containing benchmark."""
+
+    device: str
+    factors: List[float]
+    curves: Dict[str, SensitivityCurve] = field(default_factory=dict)
+
+    def benchmarks(self) -> List[str]:
+        return list(self.curves)
+
+
+def default_factors(num_points: int = 9, maximum: float = 100.0) -> List[float]:
+    """Log-spaced improvement factors from 1x to ``maximum`` (the Figure 12 x-axis)."""
+    return [float(f) for f in np.logspace(0, np.log10(maximum), num_points)]
+
+
+def run_sensitivity_experiment(
+    coupling_map: Optional[CouplingMap] = None,
+    base_calibration: Optional[DeviceCalibration] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    factors: Optional[Sequence[float]] = None,
+    seed: int = 11,
+) -> SensitivityResult:
+    """Reproduce Figure 12 on the Johannesburg topology."""
+    coupling_map = coupling_map or johannesburg()
+    base_calibration = base_calibration or johannesburg_aug19_2020()
+    benchmarks = list(benchmarks or TOFFOLI_BENCHMARKS)
+    factors = list(factors or default_factors())
+    result = SensitivityResult(device=coupling_map.name, factors=list(factors))
+    for benchmark in benchmarks:
+        circuit = get_benchmark(benchmark)
+        if circuit.num_qubits > coupling_map.num_qubits:
+            continue
+        baseline = compile_baseline(circuit, coupling_map, seed=seed)
+        trios = compile_trios(circuit, coupling_map, seed=seed)
+        ratios: List[float] = []
+        for factor in factors:
+            calibration = base_calibration.improved(factor)
+            base_p = baseline.success_probability(calibration)
+            trios_p = trios.success_probability(calibration)
+            if base_p <= 0:
+                ratios.append(float("inf") if trios_p > 0 else 1.0)
+            else:
+                ratios.append(trios_p / base_p)
+        result.curves[benchmark] = SensitivityCurve(
+            benchmark=benchmark, factors=list(factors), ratios=ratios
+        )
+    return result

@@ -1,0 +1,33 @@
+"""Small statistics helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the aggregate the paper uses for all its headline numbers.
+
+    Zero or negative entries are clamped to a tiny positive value so a single
+    zero-success data point does not collapse the whole aggregate to zero.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean needs at least one value")
+    clamped = [max(float(v), 1e-300) for v in values]
+    return math.exp(sum(math.log(v) for v in clamped) / len(clamped))
+
+
+def percent_change(before: float, after: float) -> float:
+    """Relative change ``(after - before) / before`` expressed as a fraction."""
+    if before == 0:
+        return math.inf if after > 0 else 0.0
+    return (after - before) / before
+
+
+def percent_reduction(before: float, after: float) -> float:
+    """Fractional reduction ``1 - after/before`` (0.35 means 35% fewer)."""
+    if before == 0:
+        return 0.0
+    return 1.0 - after / before

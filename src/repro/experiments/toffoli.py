@@ -1,0 +1,210 @@
+"""The Toffoli-only experiment (paper §5.1, Figures 6, 7 and 8).
+
+A single Toffoli is placed on three chosen physical qubits of the device (the
+initial mapping is fixed "to force routing to occur"), compiled with the four
+configurations compared in the paper —
+
+* ``Qiskit (baseline)``        — conventional flow, 6-CNOT Toffoli,
+* ``Qiskit (8-CNOT Toffoli)``  — conventional flow, 8-CNOT Toffoli,
+* ``Trios (6-CNOT Toffoli)``   — Trios routing, fixed 6-CNOT second pass,
+* ``Trios (8-CNOT Toffoli)``   — Trios routing, mapping-aware second pass
+  (which on triangle-free devices such as Johannesburg always selects the
+  8-CNOT decomposition) —
+
+and executed on the noisy-hardware substitute with the controls prepared in
+|1⟩ and the target in |0⟩, measuring the probability of reading |111⟩.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..compiler.pipeline import compile_baseline, compile_trios
+from ..compiler.result import CompilationResult
+from ..exceptions import ReproError
+from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
+from ..hardware.topology import CouplingMap
+from ..hardware.library import johannesburg
+from ..sim.noise import GateFailureSampler, PauliTrajectorySampler
+from .stats import geometric_mean
+
+#: The four compiler configurations of Figures 6 and 7, in plot order.
+CONFIGURATIONS = (
+    "Qiskit (baseline)",
+    "Qiskit (8-CNOT Toffoli)",
+    "Trios (6-CNOT Toffoli)",
+    "Trios (8-CNOT Toffoli)",
+)
+
+
+def toffoli_test_circuit() -> QuantumCircuit:
+    """|110⟩ preparation, one Toffoli, measurement of all three qubits (§5.1)."""
+    circuit = QuantumCircuit(3, "single_toffoli")
+    circuit.x(0)
+    circuit.x(1)
+    circuit.ccx(0, 1, 2)
+    for qubit in range(3):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+def compile_configuration(
+    configuration: str,
+    coupling_map: CouplingMap,
+    placement: Dict[int, int],
+    seed: Optional[int] = None,
+) -> CompilationResult:
+    """Compile the Toffoli test circuit under one of the four configurations."""
+    circuit = toffoli_test_circuit()
+    if configuration == "Qiskit (baseline)":
+        return compile_baseline(circuit, coupling_map, toffoli_mode="6cnot",
+                                layout=placement, seed=seed)
+    if configuration == "Qiskit (8-CNOT Toffoli)":
+        return compile_baseline(circuit, coupling_map, toffoli_mode="8cnot",
+                                layout=placement, seed=seed)
+    if configuration == "Trios (6-CNOT Toffoli)":
+        return compile_trios(circuit, coupling_map, second_decomposition="6cnot",
+                             layout=placement, seed=seed)
+    if configuration == "Trios (8-CNOT Toffoli)":
+        return compile_trios(circuit, coupling_map, second_decomposition="mapping_aware",
+                             layout=placement, seed=seed)
+    raise ReproError(f"unknown configuration {configuration!r}")
+
+
+@dataclass
+class TripletResult:
+    """Results for one triplet of physical qubits across the four configurations."""
+
+    triplet: Tuple[int, int, int]
+    total_distance: int
+    cnot_counts: Dict[str, int] = field(default_factory=dict)
+    success_rates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """The x-axis label style of Figures 6/7: ``(a-b-c) distance``."""
+        a, b, c = self.triplet
+        return f"({a}-{b}-{c}) {self.total_distance}"
+
+    def improvement(self) -> float:
+        """Figure 8's metric: Trios (8-CNOT) success over the Qiskit baseline."""
+        baseline = self.success_rates.get("Qiskit (baseline)", 0.0)
+        trios = self.success_rates.get("Trios (8-CNOT Toffoli)", 0.0)
+        if baseline <= 0:
+            return float("inf") if trios > 0 else 1.0
+        return trios / baseline
+
+
+@dataclass
+class ToffoliExperimentResult:
+    """Aggregated output of the Toffoli-only experiment."""
+
+    device: str
+    shots: int
+    rows: List[TripletResult] = field(default_factory=list)
+
+    def geomean_cnots(self, configuration: str) -> float:
+        return geometric_mean(row.cnot_counts[configuration] for row in self.rows)
+
+    def geomean_success(self, configuration: str) -> float:
+        return geometric_mean(
+            max(row.success_rates[configuration], 1e-6) for row in self.rows
+        )
+
+    def geomean_improvement(self) -> float:
+        """Geomean of the Figure 8 normalised success ratios."""
+        return geometric_mean(min(row.improvement(), 1e6) for row in self.rows)
+
+    def gate_reduction(self) -> float:
+        """Fractional CNOT reduction of Trios (8-CNOT) vs. the Qiskit baseline."""
+        baseline = self.geomean_cnots("Qiskit (baseline)")
+        trios = self.geomean_cnots("Trios (8-CNOT Toffoli)")
+        return 1.0 - trios / baseline
+
+
+def random_triplets(
+    coupling_map: CouplingMap, count: int, seed: Optional[int] = None
+) -> List[Tuple[int, int, int]]:
+    """Random triplets of distinct physical qubits, like the paper's sampling."""
+    rng = random.Random(seed)
+    triplets = []
+    for _ in range(count):
+        triplets.append(tuple(rng.sample(range(coupling_map.num_qubits), 3)))
+    return triplets
+
+
+def run_toffoli_experiment(
+    coupling_map: Optional[CouplingMap] = None,
+    calibration: Optional[DeviceCalibration] = None,
+    triplets: Optional[Sequence[Tuple[int, int, int]]] = None,
+    num_triplets: int = 35,
+    shots: int = 1024,
+    seed: int = 0,
+    sampler: str = "failure",
+) -> ToffoliExperimentResult:
+    """Run the §5.1 experiment on the noisy-hardware substitute.
+
+    Args:
+        coupling_map: Device topology (IBM Johannesburg by default).
+        calibration: Error rates/timings (the 2020-08-19 snapshot by default).
+        triplets: Explicit qubit triplets; random ones are drawn if omitted.
+        num_triplets: How many random triplets to draw (35 in Figure 6/7,
+            99 in Figure 8).
+        shots: Shots per compiled circuit (the paper uses 8192 on hardware).
+        seed: Seed for triplet sampling, stochastic routing and the sampler.
+        sampler: ``"failure"`` for the fast gate-failure model, ``"trajectory"``
+            for the stochastic-Pauli Monte Carlo (slower, more detailed).
+    """
+    coupling_map = coupling_map or johannesburg()
+    calibration = calibration or johannesburg_aug19_2020()
+    if triplets is None:
+        triplets = random_triplets(coupling_map, num_triplets, seed)
+    result = ToffoliExperimentResult(device=coupling_map.name, shots=shots)
+    for index, triplet in enumerate(triplets):
+        placement = {0: triplet[0], 1: triplet[1], 2: triplet[2]}
+        row = TripletResult(
+            triplet=tuple(triplet),
+            total_distance=coupling_map.total_distance(triplet),
+        )
+        for configuration in CONFIGURATIONS:
+            compiled = compile_configuration(
+                configuration, coupling_map, placement, seed=seed + index
+            )
+            row.cnot_counts[configuration] = compiled.two_qubit_gate_count
+            measured = compiled.physical_qubits_of([0, 1, 2])
+            if sampler == "trajectory":
+                engine = PauliTrajectorySampler(calibration, seed=seed + index)
+            elif sampler == "failure":
+                engine = GateFailureSampler(calibration, seed=seed + index)
+            else:
+                raise ReproError(f"unknown sampler {sampler!r}")
+            counts = engine.run(
+                compiled.circuit.without(["measure"]), shots=shots,
+                measured_qubits=measured,
+            )
+            row.success_rates[configuration] = counts.success_rate("111")
+        result.rows.append(row)
+    # Present the rows sorted by decreasing distance, like the paper's figures.
+    result.rows.sort(key=lambda r: -r.total_distance)
+    return result
+
+
+def single_case(
+    triplet: Tuple[int, int, int] = (0, 4, 15),
+    coupling_map: Optional[CouplingMap] = None,
+) -> Dict[str, Dict[str, int]]:
+    """A Figure 1-style walkthrough: SWAPs and CNOTs for one distant Toffoli."""
+    coupling_map = coupling_map or johannesburg()
+    placement = {0: triplet[0], 1: triplet[1], 2: triplet[2]}
+    summary: Dict[str, Dict[str, int]] = {}
+    for configuration in ("Qiskit (baseline)", "Trios (8-CNOT Toffoli)"):
+        compiled = compile_configuration(configuration, coupling_map, placement, seed=1)
+        summary[configuration] = {
+            "swaps": compiled.swaps_inserted,
+            "cnots": compiled.two_qubit_gate_count,
+            "depth": compiled.depth,
+        }
+    return summary

@@ -1,0 +1,31 @@
+"""Hardware models: coupling maps, the paper's four topologies and calibrations."""
+
+from .topology import CouplingMap
+from .library import (
+    johannesburg,
+    grid,
+    line,
+    clusters,
+    fully_connected,
+    by_name,
+    PAPER_TOPOLOGIES,
+)
+from .calibration import (
+    DeviceCalibration,
+    johannesburg_aug19_2020,
+    near_term_calibration,
+)
+
+__all__ = [
+    "CouplingMap",
+    "johannesburg",
+    "grid",
+    "line",
+    "clusters",
+    "fully_connected",
+    "by_name",
+    "PAPER_TOPOLOGIES",
+    "DeviceCalibration",
+    "johannesburg_aug19_2020",
+    "near_term_calibration",
+]

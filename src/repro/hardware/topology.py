@@ -1,0 +1,163 @@
+"""Hardware coupling maps.
+
+A :class:`CouplingMap` is an undirected graph whose nodes are the physical
+qubits of a device and whose edges are the pairs that can execute a two-qubit
+gate directly.  Both the routers and the mapping-aware Toffoli decomposition
+query it for adjacency, shortest paths and triangles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..exceptions import HardwareError
+
+Edge = Tuple[int, int]
+
+
+class CouplingMap:
+    """Connectivity graph of a quantum device."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Edge], name: str = "device") -> None:
+        if num_qubits < 1:
+            raise HardwareError("a device needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.num_qubits))
+        for a, b in edges:
+            a, b = int(a), int(b)
+            if a == b:
+                raise HardwareError(f"self-loop edge ({a}, {b}) is not allowed")
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise HardwareError(f"edge ({a}, {b}) out of range for {num_qubits} qubits")
+            self.graph.add_edge(a, b)
+        self._distance: Optional[Dict[int, Dict[int, int]]] = None
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> List[Edge]:
+        """Sorted list of undirected edges (a < b)."""
+        return sorted((min(a, b), max(a, b)) for a, b in self.graph.edges())
+
+    def degree(self, qubit: int) -> int:
+        """Number of neighbours of a physical qubit."""
+        return int(self.graph.degree(qubit))
+
+    def neighbors(self, qubit: int) -> List[int]:
+        """Physical qubits directly connected to ``qubit``."""
+        return sorted(self.graph.neighbors(qubit))
+
+    def is_connected(self) -> bool:
+        """Whether the device graph is a single connected component."""
+        return nx.is_connected(self.graph)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """Whether a two-qubit gate can run directly between ``a`` and ``b``."""
+        return self.graph.has_edge(a, b)
+
+    def has_triangle(self, a: int, b: int, c: int) -> bool:
+        """Whether the three qubits are pairwise connected.
+
+        The Trios second decomposition pass uses this to pick the 6-CNOT
+        Toffoli (triangle present) versus the 8-CNOT linear one.
+        """
+        return (
+            self.are_adjacent(a, b)
+            and self.are_adjacent(b, c)
+            and self.are_adjacent(a, c)
+        )
+
+    def linear_middle(self, a: int, b: int, c: int) -> Optional[int]:
+        """If {a, b, c} are in a connected line, return the middle qubit.
+
+        Returns ``None`` when the three qubits do not form a connected
+        sub-line (i.e. no qubit is adjacent to both of the others).
+        """
+        for middle, (left, right) in ((a, (b, c)), (b, (a, c)), (c, (a, b))):
+            if self.are_adjacent(middle, left) and self.are_adjacent(middle, right):
+                return middle
+        return None
+
+    # ------------------------------------------------------------------
+    # Distances and paths
+    # ------------------------------------------------------------------
+    def _ensure_distances(self) -> Dict[int, Dict[int, int]]:
+        if self._distance is None:
+            self._distance = dict(nx.all_pairs_shortest_path_length(self.graph))
+        return self._distance
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance (number of edges) between two physical qubits."""
+        distances = self._ensure_distances()
+        try:
+            return int(distances[a][b])
+        except KeyError as exc:
+            raise HardwareError(f"qubits {a} and {b} are not connected") from exc
+
+    def shortest_path(self, a: int, b: int, weight: Optional[Dict[Edge, float]] = None) -> List[int]:
+        """A shortest path from ``a`` to ``b`` inclusive of both endpoints.
+
+        Args:
+            a: Source physical qubit.
+            b: Destination physical qubit.
+            weight: Optional per-edge weights (e.g. ``-log`` CNOT success rate
+                for noise-aware routing).  Unweighted BFS is used when omitted.
+        """
+        try:
+            if weight is None:
+                return list(nx.shortest_path(self.graph, a, b))
+            def edge_weight(u: int, v: int, _attrs: dict) -> float:
+                return weight.get((min(u, v), max(u, v)), 1.0)
+            return list(nx.shortest_path(self.graph, a, b, weight=edge_weight))
+        except nx.NetworkXNoPath as exc:
+            raise HardwareError(f"no path between qubits {a} and {b}") from exc
+
+    def path_length(self, a: int, b: int, weight: Optional[Dict[Edge, float]] = None) -> float:
+        """Length of the shortest path under the optional edge weights."""
+        if weight is None:
+            return float(self.distance(a, b))
+        path = self.shortest_path(a, b, weight)
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            total += weight.get((min(u, v), max(u, v)), 1.0)
+        return total
+
+    def total_distance(self, qubits: Sequence[int]) -> int:
+        """Sum of pairwise distances over a group of qubits.
+
+        This is the "total swap distance" label used on the x axis of the
+        paper's Figures 6-8 for qubit triplets.
+        """
+        total = 0
+        qubits = list(qubits)
+        for i in range(len(qubits)):
+            for j in range(i + 1, len(qubits)):
+                total += self.distance(qubits[i], qubits[j])
+        return total
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def subgraph_is_connected(self, qubits: Sequence[int]) -> bool:
+        """Whether the induced subgraph on ``qubits`` is connected."""
+        sub = self.graph.subgraph(qubits)
+        return len(sub) > 0 and nx.is_connected(sub)
+
+    def triangles(self) -> List[Tuple[int, int, int]]:
+        """All triangles (3-cliques) in the device graph."""
+        found: Set[Tuple[int, int, int]] = set()
+        for a, b in self.graph.edges():
+            for c in set(self.graph.neighbors(a)) & set(self.graph.neighbors(b)):
+                found.add(tuple(sorted((a, b, c))))  # type: ignore[arg-type]
+        return sorted(found)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CouplingMap(name={self.name!r}, qubits={self.num_qubits}, "
+            f"edges={len(self.edges)})"
+        )

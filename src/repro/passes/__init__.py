@@ -1,0 +1,66 @@
+"""Compiler passes: decomposition, layout, routing, optimisation and scheduling."""
+
+from .base import BasePass, PassManager, PropertySet
+from .synthesis import zyz_angles, u3_from_matrix, matrix_is_identity
+from .layout import (
+    Layout,
+    TrivialLayoutPass,
+    FixedLayoutPass,
+    GreedyInteractionLayoutPass,
+    NoiseAwareLayoutPass,
+    apply_layout,
+)
+from .decompose import DecomposeToBasisPass, DEFAULT_BASIS
+from .toffoli import (
+    toffoli_6cnot,
+    toffoli_8cnot_line,
+    ccz_6cnot,
+    ccz_8cnot_line,
+    ToffoliDecomposePass,
+    MappingAwareToffoliDecomposePass,
+)
+from .routing import GreedySwapRouter, LegalizationRouter
+from .trios_routing import TriosRouter
+from .optimization import (
+    DecomposeSwapsPass,
+    RemoveBarriersPass,
+    CancelAdjacentInversesPass,
+    Consolidate1qRunsPass,
+    RemoveIdentitiesPass,
+)
+from .scheduling import Schedule, ScheduledInstruction, asap_schedule, ASAPSchedulePass
+
+__all__ = [
+    "BasePass",
+    "PassManager",
+    "PropertySet",
+    "zyz_angles",
+    "u3_from_matrix",
+    "matrix_is_identity",
+    "Layout",
+    "TrivialLayoutPass",
+    "FixedLayoutPass",
+    "GreedyInteractionLayoutPass",
+    "NoiseAwareLayoutPass",
+    "apply_layout",
+    "DecomposeToBasisPass",
+    "DEFAULT_BASIS",
+    "toffoli_6cnot",
+    "toffoli_8cnot_line",
+    "ccz_6cnot",
+    "ccz_8cnot_line",
+    "ToffoliDecomposePass",
+    "MappingAwareToffoliDecomposePass",
+    "GreedySwapRouter",
+    "LegalizationRouter",
+    "TriosRouter",
+    "DecomposeSwapsPass",
+    "RemoveBarriersPass",
+    "CancelAdjacentInversesPass",
+    "Consolidate1qRunsPass",
+    "RemoveIdentitiesPass",
+    "Schedule",
+    "ScheduledInstruction",
+    "asap_schedule",
+    "ASAPSchedulePass",
+]

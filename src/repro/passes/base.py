@@ -1,0 +1,79 @@
+"""Pass framework: a minimal analogue of Qiskit's pass manager.
+
+A :class:`BasePass` transforms a :class:`~repro.circuits.circuit.QuantumCircuit`
+and may read/write shared state in a :class:`PropertySet` (the initial layout,
+the final layout after routing, the number of SWAPs inserted, ...).  A
+:class:`PassManager` runs a fixed sequence of passes, which is exactly how the
+paper describes both the conventional flow (Figure 2a) and the Trios flow
+(Figure 2b).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import TranspilerError
+
+
+class PropertySet(dict):
+    """Shared key/value store threaded through a pass pipeline.
+
+    Well-known keys:
+
+    * ``"layout"`` — the initial logical→physical :class:`~repro.passes.layout.Layout`.
+    * ``"final_layout"`` — logical→physical layout after routing.
+    * ``"swaps_inserted"`` — number of SWAP gates added by routing.
+    * ``"coupling_map"`` — the target :class:`~repro.hardware.topology.CouplingMap`.
+    """
+
+
+class BasePass(ABC):
+    """A single circuit transformation or analysis step."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable pass name (the class name by default)."""
+        return type(self).__name__
+
+    @abstractmethod
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        """Transform ``circuit`` (or return it unchanged for analysis passes)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name}>"
+
+
+class PassManager:
+    """Runs an ordered list of passes over a circuit."""
+
+    def __init__(self, passes: Optional[Sequence[BasePass]] = None) -> None:
+        self.passes: List[BasePass] = list(passes or [])
+
+    def append(self, single_pass: BasePass) -> "PassManager":
+        """Add a pass to the end of the pipeline; returns ``self`` for chaining."""
+        if not isinstance(single_pass, BasePass):
+            raise TranspilerError(f"{single_pass!r} is not a BasePass")
+        self.passes.append(single_pass)
+        return self
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        properties: Optional[PropertySet] = None,
+    ) -> Tuple[QuantumCircuit, PropertySet]:
+        """Run every pass in order and return the final circuit and properties."""
+        properties = properties if properties is not None else PropertySet()
+        current = circuit
+        history: List[str] = properties.setdefault("pass_history", [])
+        for single_pass in self.passes:
+            current = single_pass.run(current, properties)
+            if current is None:
+                raise TranspilerError(f"pass {single_pass.name} returned None")
+            history.append(single_pass.name)
+        return current, properties
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(p.name for p in self.passes)
+        return f"PassManager([{names}])"

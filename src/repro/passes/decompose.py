@@ -1,0 +1,193 @@
+"""Unrolling / decomposition to the hardware gate set.
+
+The target basis is IBM's ``{u1, u2, u3, cx}`` (§1).  The pass can be told to
+*keep* selected multi-qubit gates — the Trios flow keeps ``ccx``/``ccz`` intact
+through mapping and routing and only decomposes them afterwards
+(:class:`~repro.passes.toffoli.MappingAwareToffoliDecomposePass`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits import library
+from ..circuits.gate import Gate
+from ..exceptions import TranspilerError
+from .base import BasePass, PropertySet
+from .synthesis import u3_from_matrix
+from .toffoli import toffoli_6cnot, toffoli_8cnot_line, ccz_6cnot, ccz_8cnot_line
+
+#: Default hardware basis (plus SWAP, which routing inserts and a later pass expands).
+DEFAULT_BASIS: Tuple[str, ...] = ("u1", "u2", "u3", "cx")
+
+_PI = math.pi
+
+# Direct translations of common one-qubit gates into u1/u2/u3 (avoids numerics).
+_ONE_QUBIT_RULES: Dict[str, callable] = {
+    "id": lambda params: [],
+    "x": lambda params: [Instruction(library.u3_gate(_PI, 0.0, _PI), (0,))],
+    "y": lambda params: [Instruction(library.u3_gate(_PI, _PI / 2, _PI / 2), (0,))],
+    "z": lambda params: [Instruction(library.u1_gate(_PI), (0,))],
+    "h": lambda params: [Instruction(library.u2_gate(0.0, _PI), (0,))],
+    "s": lambda params: [Instruction(library.u1_gate(_PI / 2), (0,))],
+    "sdg": lambda params: [Instruction(library.u1_gate(-_PI / 2), (0,))],
+    "t": lambda params: [Instruction(library.u1_gate(_PI / 4), (0,))],
+    "tdg": lambda params: [Instruction(library.u1_gate(-_PI / 4), (0,))],
+    "sx": lambda params: [Instruction(library.u3_gate(_PI / 2, -_PI / 2, _PI / 2), (0,))],
+    "sxdg": lambda params: [Instruction(library.u3_gate(-_PI / 2, -_PI / 2, _PI / 2), (0,))],
+    "rx": lambda params: [Instruction(library.u3_gate(params[0], -_PI / 2, _PI / 2), (0,))],
+    "ry": lambda params: [Instruction(library.u3_gate(params[0], 0.0, 0.0), (0,))],
+    "rz": lambda params: [Instruction(library.u1_gate(params[0]), (0,))],
+    "p": lambda params: [Instruction(library.u1_gate(params[0]), (0,))],
+}
+
+
+def _two_qubit_rule(instruction: Instruction) -> List[Instruction]:
+    """Rewrite a non-basis two-qubit gate in terms of {1q gates, cx, swap}."""
+    name = instruction.name
+    a, b = 0, 1
+    params = instruction.gate.params
+    if name == "cz":
+        return [
+            Instruction(library.h_gate(), (b,)),
+            Instruction(library.cx_gate(), (a, b)),
+            Instruction(library.h_gate(), (b,)),
+        ]
+    if name == "cy":
+        return [
+            Instruction(library.sdg_gate(), (b,)),
+            Instruction(library.cx_gate(), (a, b)),
+            Instruction(library.s_gate(), (b,)),
+        ]
+    if name == "ch":
+        return [
+            Instruction(library.s_gate(), (b,)),
+            Instruction(library.h_gate(), (b,)),
+            Instruction(library.t_gate(), (b,)),
+            Instruction(library.cx_gate(), (a, b)),
+            Instruction(library.tdg_gate(), (b,)),
+            Instruction(library.h_gate(), (b,)),
+            Instruction(library.sdg_gate(), (b,)),
+        ]
+    if name == "cp":
+        theta = params[0]
+        return [
+            Instruction(library.u1_gate(theta / 2), (a,)),
+            Instruction(library.cx_gate(), (a, b)),
+            Instruction(library.u1_gate(-theta / 2), (b,)),
+            Instruction(library.cx_gate(), (a, b)),
+            Instruction(library.u1_gate(theta / 2), (b,)),
+        ]
+    if name == "crz":
+        theta = params[0]
+        return [
+            Instruction(library.rz_gate(theta / 2), (b,)),
+            Instruction(library.cx_gate(), (a, b)),
+            Instruction(library.rz_gate(-theta / 2), (b,)),
+            Instruction(library.cx_gate(), (a, b)),
+        ]
+    if name == "rzz":
+        theta = params[0]
+        return [
+            Instruction(library.cx_gate(), (a, b)),
+            Instruction(library.rz_gate(theta), (b,)),
+            Instruction(library.cx_gate(), (a, b)),
+        ]
+    if name == "swap":
+        return [
+            Instruction(library.cx_gate(), (a, b)),
+            Instruction(library.cx_gate(), (b, a)),
+            Instruction(library.cx_gate(), (a, b)),
+        ]
+    raise TranspilerError(f"no decomposition rule for two-qubit gate {name!r}")
+
+
+def _three_qubit_rule(instruction: Instruction, toffoli_mode: str) -> List[Instruction]:
+    """Rewrite a three-qubit gate in terms of {1q, cx, ccx}-level pieces."""
+    name = instruction.name
+    if name == "ccx":
+        if toffoli_mode == "8cnot":
+            return toffoli_8cnot_line(0, 1, 2)
+        return toffoli_6cnot(0, 1, 2)
+    if name == "ccz":
+        if toffoli_mode == "8cnot":
+            return ccz_8cnot_line(0, 1, 2)
+        return ccz_6cnot(0, 1, 2)
+    if name == "cswap":
+        return [
+            Instruction(library.cx_gate(), (2, 1)),
+            Instruction(library.ccx_gate(), (0, 1, 2)),
+            Instruction(library.cx_gate(), (2, 1)),
+        ]
+    raise TranspilerError(f"no decomposition rule for gate {name!r}")
+
+
+class DecomposeToBasisPass(BasePass):
+    """Unroll every gate into the target basis, optionally keeping some gates.
+
+    Args:
+        basis: Allowed gate names in the output (non-unitary operations and
+            ``swap``/``barrier`` are always allowed; routing introduces SWAPs
+            which a later pass expands).
+        keep: Gate names to leave untouched, e.g. ``("ccx", "ccz")`` for the
+            first Trios decomposition pass ("Unroll+Decompose to Toffoli").
+        toffoli_mode: Which Toffoli decomposition to use when ``ccx``/``ccz``
+            are *not* kept — ``"6cnot"`` (Qiskit default) or ``"8cnot"``.
+    """
+
+    _ALWAYS_ALLOWED = ("measure", "reset", "barrier", "swap")
+
+    def __init__(
+        self,
+        basis: Sequence[str] = DEFAULT_BASIS,
+        keep: Sequence[str] = (),
+        toffoli_mode: str = "6cnot",
+    ) -> None:
+        if toffoli_mode not in ("6cnot", "8cnot"):
+            raise TranspilerError(f"unknown toffoli_mode {toffoli_mode!r}")
+        self.basis: Set[str] = set(basis) | set(self._ALWAYS_ALLOWED)
+        self.keep: Set[str] = set(keep)
+        self.toffoli_mode = toffoli_mode
+
+    # ------------------------------------------------------------------
+    def _expand(self, instruction: Instruction) -> List[Instruction]:
+        """One level of expansion for an out-of-basis instruction."""
+        name = instruction.name
+        num_qubits = instruction.gate.num_qubits
+        if num_qubits == 1:
+            if name in _ONE_QUBIT_RULES:
+                template = _ONE_QUBIT_RULES[name](instruction.gate.params)
+            else:
+                template = [Instruction(u3_from_matrix(instruction.gate.matrix()), (0,))]
+        elif num_qubits == 2:
+            template = _two_qubit_rule(instruction)
+        elif num_qubits == 3:
+            template = _three_qubit_rule(instruction, self.toffoli_mode)
+        else:
+            raise TranspilerError(
+                f"cannot decompose {name!r} acting on {num_qubits} qubits"
+            )
+        # Rebind the template (written on qubits 0..k-1) onto the real qubits.
+        mapping = dict(enumerate(instruction.qubits))
+        return [piece.remap(mapping) for piece in template]
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = circuit.copy_empty()
+        # Worklist: expand one level at a time until everything is in basis.
+        stack: List[Instruction] = list(reversed(circuit.instructions))
+        guard = 0
+        max_steps = 200 * (len(circuit.instructions) + 1)
+        while stack:
+            guard += 1
+            if guard > max_steps:
+                raise TranspilerError("decomposition did not converge")
+            instruction = stack.pop()
+            name = instruction.name
+            if name in self.keep or name in self.basis or not instruction.gate.is_unitary:
+                out.append_instruction(instruction)
+                continue
+            replacements = self._expand(instruction)
+            stack.extend(reversed(replacements))
+        return out

@@ -1,0 +1,151 @@
+"""Circuit-level optimisation passes.
+
+These mirror the "light optimisation" the paper says Qiskit's default transpile
+performs (§5.2): single-qubit gate consolidation and adjacent inverse-gate
+cancellation, plus the SWAP→3-CNOT expansion that every routed circuit needs
+before gate counting, scheduling and noise estimation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits import library
+from ..exceptions import TranspilerError
+from .base import BasePass, PropertySet
+from .synthesis import matrix_is_identity, u3_from_matrix
+
+
+class DecomposeSwapsPass(BasePass):
+    """Expand every explicit SWAP into its three-CNOT implementation (§2.2)."""
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = circuit.copy_empty()
+        for instruction in circuit.instructions:
+            if instruction.name != "swap":
+                out.append_instruction(instruction)
+                continue
+            a, b = instruction.qubits
+            out.cx(a, b)
+            out.cx(b, a)
+            out.cx(a, b)
+        return out
+
+
+class RemoveBarriersPass(BasePass):
+    """Drop barrier markers (they carry no semantics for our simulators)."""
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        return circuit.without(["barrier"])
+
+
+class CancelAdjacentInversesPass(BasePass):
+    """Cancel neighbouring gate pairs ``G · G⁻¹`` acting on the same qubits.
+
+    Routing frequently produces back-to-back CNOT pairs (end of one SWAP,
+    start of the next gate); removing them is the cheapest of Qiskit's standard
+    clean-ups and keeps the baseline comparison fair.
+    """
+
+    def __init__(self, max_iterations: int = 10) -> None:
+        self.max_iterations = max_iterations
+
+    def _single_pass(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, bool]:
+        out_instructions: List[Instruction] = []
+        # For every qubit, index into out_instructions of the last op touching it.
+        last_touch: Dict[int, int] = {}
+        changed = False
+        for instruction in circuit.instructions:
+            qubits = instruction.qubits
+            candidate_index: Optional[int] = None
+            if instruction.gate.is_unitary and qubits:
+                touches = [last_touch.get(q) for q in qubits]
+                if all(t is not None for t in touches) and len(set(touches)) == 1:
+                    candidate_index = touches[0]
+            if candidate_index is not None:
+                previous = out_instructions[candidate_index]
+                same_wires = previous.qubits == qubits
+                is_inverse = (
+                    previous.gate.is_unitary
+                    and same_wires
+                    and previous.gate == instruction.gate.inverse()
+                )
+                if is_inverse:
+                    # Drop both gates; mark the slot as removed (None placeholder).
+                    out_instructions[candidate_index] = None  # type: ignore[call-overload]
+                    for qubit in qubits:
+                        last_touch.pop(qubit, None)
+                    changed = True
+                    continue
+            out_instructions.append(instruction)
+            index = len(out_instructions) - 1
+            for qubit in qubits:
+                last_touch[qubit] = index
+        new_circuit = circuit.copy_empty()
+        for instruction in out_instructions:
+            if instruction is not None:
+                new_circuit.append_instruction(instruction)
+        return new_circuit, changed
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        current = circuit
+        for _ in range(self.max_iterations):
+            current, changed = self._single_pass(current)
+            if not changed:
+                break
+        return current
+
+
+class Consolidate1qRunsPass(BasePass):
+    """Merge runs of single-qubit gates on a wire into a single ``u3`` gate.
+
+    This is Qiskit's "single qubit gate consolidation" (§5.2).  Runs that
+    multiply to the identity are dropped entirely.
+    """
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = circuit.copy_empty()
+        pending: Dict[int, np.ndarray] = {}
+
+        def flush(qubit: int) -> None:
+            matrix = pending.pop(qubit, None)
+            if matrix is None:
+                return
+            if matrix_is_identity(matrix):
+                return
+            out.append(u3_from_matrix(matrix), (qubit,))
+
+        for instruction in circuit.instructions:
+            if (
+                instruction.gate.is_unitary
+                and instruction.gate.num_qubits == 1
+            ):
+                qubit = instruction.qubits[0]
+                accumulated = pending.get(qubit, np.eye(2, dtype=complex))
+                pending[qubit] = instruction.gate.matrix() @ accumulated
+                continue
+            for qubit in instruction.qubits:
+                flush(qubit)
+            out.append_instruction(instruction)
+        for qubit in sorted(pending):
+            flush(qubit)
+        return out
+
+
+class RemoveIdentitiesPass(BasePass):
+    """Remove explicit identity gates and zero-angle rotations."""
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = circuit.copy_empty()
+        for instruction in circuit.instructions:
+            if (
+                instruction.gate.is_unitary
+                and instruction.gate.num_qubits == 1
+                and instruction.gate.is_identity()
+            ):
+                continue
+            out.append_instruction(instruction)
+        return out

@@ -1,0 +1,210 @@
+"""Baseline SWAP routing of one- and two-qubit gates.
+
+This pass models the conventional compiler's routing stage: every gate is taken
+in program order, and when a two-qubit gate acts on physical qubits that are
+not coupled, SWAPs are inserted along a shortest path until the two data qubits
+become adjacent (§2.4, §3).  The router works on *logical* circuits plus a
+:class:`~repro.passes.layout.Layout`; its output is a circuit on the device's
+physical wires that still contains explicit ``swap`` gates (expanded to CNOTs
+by :class:`~repro.passes.optimization.DecomposeSwapsPass`).
+
+The router optionally takes noise-aware edge weights (``-log`` CNOT success),
+in which case "shortest" means "most reliable" (§4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits import library
+from ..exceptions import RoutingError
+from ..hardware.topology import CouplingMap
+from .base import BasePass, PropertySet
+from .layout import Layout
+
+Edge = Tuple[int, int]
+
+
+class GreedySwapRouter(BasePass):
+    """Route two-qubit gates one at a time along shortest SWAP paths.
+
+    Args:
+        coupling_map: Target device connectivity.
+        edge_weights: Optional per-edge weights for noise-aware routing.
+        meet_in_middle: Move both endpoints toward the centre of the path
+            instead of walking only the first endpoint to the second.  The SWAP
+            count is identical; only which data ends up where differs (§3
+            mentions both strategies).
+        stochastic: Model Qiskit's stochastic swap policy (the paper's
+            baseline, §5.2): pick uniformly at random which endpoint walks and
+            which of the tied shortest paths it follows.  The paper's §3
+            motivation — "there is an even chance that the SWAPs for the second
+            CNOT separate the two qubits that were just brought together" — is
+            exactly this behaviour.
+        seed: RNG seed for the stochastic mode.
+    """
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        edge_weights: Optional[Mapping[Edge, float]] = None,
+        meet_in_middle: bool = False,
+        stochastic: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.coupling_map = coupling_map
+        self.edge_weights = dict(edge_weights) if edge_weights else None
+        self.meet_in_middle = meet_in_middle
+        self.stochastic = stochastic
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Helpers shared with the Trios router
+    # ------------------------------------------------------------------
+    def _weight_function(self):
+        if self.edge_weights is None:
+            return None
+        return lambda u, v, _d: self.edge_weights.get((min(u, v), max(u, v)), 1.0)
+
+    def _shortest_path(self, a: int, b: int, avoid: Tuple[int, ...] = ()) -> List[int]:
+        """Shortest path from ``a`` to ``b``, preferring to avoid given nodes."""
+        if avoid:
+            graph = self.coupling_map.graph
+            blocked = set(avoid) - {a, b}
+            sub = graph.subgraph([n for n in graph.nodes if n not in blocked])
+            try:
+                return self._pick_path(sub, a, b)
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                pass  # avoiding those nodes is impossible; fall back to the full graph
+        return self._pick_path(self.coupling_map.graph, a, b)
+
+    def _pick_path(self, graph, a: int, b: int) -> List[int]:
+        """One shortest path; in stochastic mode a uniformly random tied path."""
+        weight = self._weight_function()
+        if not self.stochastic:
+            return list(nx.shortest_path(graph, a, b, weight=weight))
+        paths = list(nx.all_shortest_paths(graph, a, b, weight=weight))
+        return list(self._rng.choice(paths))
+
+    def _emit_swap(
+        self, out: QuantumCircuit, layout: Layout, physical_a: int, physical_b: int
+    ) -> None:
+        if not self.coupling_map.are_adjacent(physical_a, physical_b):
+            raise RoutingError(
+                f"internal error: SWAP on non-adjacent qubits {physical_a}, {physical_b}"
+            )
+        out.append(library.swap_gate(), (physical_a, physical_b))
+        layout.swap_physical(physical_a, physical_b)
+
+    def _route_pair(
+        self, out: QuantumCircuit, layout: Layout, logical_a: int, logical_b: int
+    ) -> int:
+        """Insert SWAPs until the two logical qubits sit on coupled wires."""
+        swaps = 0
+        physical_a = layout.physical(logical_a)
+        physical_b = layout.physical(logical_b)
+        if self.coupling_map.are_adjacent(physical_a, physical_b):
+            return 0
+        if self.stochastic and self._rng.random() < 0.5:
+            # Qiskit's stochastic policy may just as well move the other qubit.
+            physical_a, physical_b = physical_b, physical_a
+        path = self._shortest_path(physical_a, physical_b)
+        if not self.meet_in_middle:
+            # Walk the data at ``a`` along the path until adjacent to ``b``.
+            for step in range(len(path) - 2):
+                self._emit_swap(out, layout, path[step], path[step + 1])
+                swaps += 1
+            return swaps
+        # Meet in the middle: alternately advance each endpoint along the path.
+        left = 0
+        right = len(path) - 1
+        move_left = True
+        while right - left > 1:
+            if move_left:
+                self._emit_swap(out, layout, path[left], path[left + 1])
+                left += 1
+            else:
+                self._emit_swap(out, layout, path[right], path[right - 1])
+                right -= 1
+            swaps += 1
+            move_left = not move_left
+        return swaps
+
+    # ------------------------------------------------------------------
+    def _route_instruction(
+        self, out: QuantumCircuit, layout: Layout, instruction: Instruction
+    ) -> int:
+        """Route one instruction; returns the number of SWAPs inserted."""
+        logical_qubits = instruction.qubits
+        if instruction.name == "barrier" or len(logical_qubits) == 1:
+            physical = tuple(layout.physical(q) for q in logical_qubits)
+            out.append(instruction.gate, physical, instruction.clbits)
+            return 0
+        if len(logical_qubits) == 2:
+            swaps = self._route_pair(out, layout, *logical_qubits)
+            physical = tuple(layout.physical(q) for q in logical_qubits)
+            out.append(instruction.gate, physical, instruction.clbits)
+            return swaps
+        return self._route_multi(out, layout, instruction)
+
+    def _route_multi(
+        self, out: QuantumCircuit, layout: Layout, instruction: Instruction
+    ) -> int:
+        raise RoutingError(
+            f"{type(self).__name__} cannot route the {instruction.gate.num_qubits}-qubit "
+            f"gate {instruction.name!r}; decompose it first or use the Trios router"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        layout: Layout = properties.get("layout") or Layout.trivial(circuit.num_qubits)
+        if layout.num_logical < circuit.num_qubits:
+            raise RoutingError(
+                f"layout places {layout.num_logical} qubits but the circuit has "
+                f"{circuit.num_qubits}"
+            )
+        layout = layout.copy()
+        properties.setdefault("initial_layout", layout.copy())
+        out = QuantumCircuit(self.coupling_map.num_qubits, circuit.name)
+        swaps = 0
+        for instruction in circuit.instructions:
+            swaps += self._route_instruction(out, layout, instruction)
+        properties["final_layout"] = layout.copy()
+        properties["swaps_inserted"] = properties.get("swaps_inserted", 0) + swaps
+        return out
+
+
+class LegalizationRouter(GreedySwapRouter):
+    """Re-route a circuit that already lives on physical wires.
+
+    Used after a non-mapping-aware second decomposition (the "Trios (6-CNOT
+    Toffoli)" ablation): any CNOT that the decomposition produced between
+    non-coupled physical qubits gets the usual SWAP treatment.  For the real
+    Trios flow this pass inserts zero SWAPs, which the tests assert.
+    """
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        # The circuit is already expressed on physical wires; route with an
+        # identity layout over the whole device, then compose the wire
+        # permutation it introduces into the recorded final layout.
+        saved_layout = properties.get("layout")
+        saved_initial = properties.get("initial_layout")
+        saved_final = properties.get("final_layout")
+        properties["layout"] = Layout.trivial(self.coupling_map.num_qubits)
+        routed = super().run(circuit, properties)
+        wire_permutation: Layout = properties["final_layout"]
+        if saved_final is not None:
+            composed = {
+                logical: wire_permutation.physical(physical)
+                for logical, physical in saved_final.to_dict().items()
+            }
+            properties["final_layout"] = Layout(composed)
+        if saved_initial is not None:
+            properties["initial_layout"] = saved_initial
+        if saved_layout is not None:
+            properties["layout"] = saved_layout
+        return routed

@@ -1,0 +1,45 @@
+"""Simulators: ideal statevector/unitary, noisy samplers, analytic estimator."""
+
+from .statevector import (
+    StatevectorSimulator,
+    zero_state,
+    basis_state,
+    apply_matrix,
+    marginal_probabilities,
+    statevector_fidelity,
+)
+from .unitary import (
+    circuit_unitary,
+    permutation_unitary,
+    equal_up_to_global_phase,
+    circuits_equivalent,
+)
+from .estimator import (
+    SuccessEstimate,
+    estimate_success,
+    success_probability,
+    success_ratio,
+    circuit_duration,
+)
+from .noise import PauliTrajectorySampler, GateFailureSampler, NoisyResult
+
+__all__ = [
+    "StatevectorSimulator",
+    "zero_state",
+    "basis_state",
+    "apply_matrix",
+    "marginal_probabilities",
+    "statevector_fidelity",
+    "circuit_unitary",
+    "permutation_unitary",
+    "equal_up_to_global_phase",
+    "circuits_equivalent",
+    "SuccessEstimate",
+    "estimate_success",
+    "success_probability",
+    "success_ratio",
+    "circuit_duration",
+    "PauliTrajectorySampler",
+    "GateFailureSampler",
+    "NoisyResult",
+]

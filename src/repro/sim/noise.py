@@ -1,0 +1,276 @@
+"""Noisy execution models.
+
+The paper's Figures 6 and 8 come from runs on the physical IBM Johannesburg
+machine, which we cannot access.  As the documented substitution we provide two
+shot-level samplers driven by a :class:`~repro.hardware.calibration.DeviceCalibration`:
+
+* :class:`PauliTrajectorySampler` — a stochastic Pauli-error ("quantum
+  trajectory") Monte Carlo on a statevector restricted to the circuit's active
+  qubits.  Each gate is followed, with its calibrated error probability, by a
+  uniformly random non-identity Pauli on the gate's qubits; readout bits flip
+  with the readout error; decoherence is applied as a per-shot failure with
+  probability ``1 - exp(-(Δ/T1 + Δ/T2))``.
+* :class:`GateFailureSampler` — the paper's simplified model with sampling:
+  a shot is "trouble free" with probability ``prod(1 - e_i) * exp(-(Δ/T1+Δ/T2))``
+  and then yields an ideal-distribution outcome; otherwise the outcome is
+  uniformly random.  This is fast enough for large sweeps.
+
+Both produce ``counts`` dictionaries like real hardware would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.gate import Gate
+from ..exceptions import SimulationError
+from ..hardware.calibration import DeviceCalibration
+from .estimator import circuit_duration, estimate_success
+from .statevector import StatevectorSimulator, apply_matrix, zero_state
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+_PAULI_LABELS = ("I", "X", "Y", "Z")
+
+
+def _reduce_to_active(
+    circuit: QuantumCircuit, extra_qubits: Sequence[int] = ()
+) -> Tuple[QuantumCircuit, Dict[int, int]]:
+    """Restrict a wide circuit to its active qubits (plus ``extra_qubits``).
+
+    Returns the reduced circuit and the map from original qubit index to the
+    compact index used inside the reduced circuit.
+    """
+    active = sorted(circuit.active_qubits() | set(extra_qubits))
+    if not active:
+        active = [0]
+    mapping = {original: compact for compact, original in enumerate(active)}
+    reduced = QuantumCircuit(len(active), circuit.name)
+    for instruction in circuit.instructions:
+        if instruction.name == "barrier":
+            continue
+        reduced.append(
+            instruction.gate,
+            tuple(mapping[q] for q in instruction.qubits),
+            instruction.clbits,
+        )
+    return reduced, mapping
+
+
+def _measured_qubits(circuit: QuantumCircuit) -> List[int]:
+    """Qubits measured by the circuit, in program order (deduplicated)."""
+    seen: List[int] = []
+    for instruction in circuit.instructions:
+        if instruction.name == "measure" and instruction.qubits[0] not in seen:
+            seen.append(instruction.qubits[0])
+    return seen
+
+
+@dataclass
+class NoisyResult:
+    """Counts plus convenience accessors, mimicking a hardware job result."""
+
+    counts: Dict[str, int]
+    shots: int
+    measured_qubits: Tuple[int, ...]
+
+    def probability_of(self, bitstring: str) -> float:
+        """Fraction of shots that produced ``bitstring``."""
+        if self.shots == 0:
+            raise SimulationError("no shots were taken")
+        return self.counts.get(bitstring, 0) / self.shots
+
+    def success_rate(self, expected: str) -> float:
+        """The paper's success-rate metric: fraction of shots matching ``expected``."""
+        return self.probability_of(expected)
+
+
+class PauliTrajectorySampler:
+    """Monte-Carlo stochastic-Pauli noise simulation (hardware substitute)."""
+
+    def __init__(
+        self,
+        calibration: DeviceCalibration,
+        seed: Optional[int] = None,
+        include_decoherence: bool = True,
+        include_readout_error: bool = True,
+        max_active_qubits: int = 18,
+    ) -> None:
+        self.calibration = calibration
+        self.rng = np.random.default_rng(seed)
+        self.include_decoherence = include_decoherence
+        self.include_readout_error = include_readout_error
+        self.max_active_qubits = max_active_qubits
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        measured_qubits: Optional[Sequence[int]] = None,
+    ) -> NoisyResult:
+        """Execute ``circuit`` for ``shots`` noisy trajectories.
+
+        Args:
+            circuit: Compiled circuit (one- and two-qubit gates; SWAPs allowed
+                and treated as noisy three-CNOT sequences).
+            shots: Number of trajectories.
+            measured_qubits: Which original qubit indices to report, in order.
+                Defaults to the circuit's ``measure`` instructions, or all
+                active qubits if there are none.
+        """
+        if shots < 1:
+            raise SimulationError("shots must be positive")
+        if measured_qubits is None:
+            measured_qubits = _measured_qubits(circuit) or sorted(circuit.active_qubits())
+        measured_qubits = list(measured_qubits)
+        reduced, mapping = _reduce_to_active(circuit, measured_qubits)
+        if reduced.num_qubits > self.max_active_qubits:
+            raise SimulationError(
+                f"{reduced.num_qubits} active qubits exceeds the trajectory "
+                f"sampler limit ({self.max_active_qubits})"
+            )
+        compact_measured = [mapping[q] for q in measured_qubits]
+        gates = [inst for inst in reduced.instructions if inst.gate.is_unitary]
+        duration = circuit_duration(circuit.without(["barrier"]), self.calibration)
+        decoherence_failure = 0.0
+        if self.include_decoherence:
+            decoherence_failure = 1.0 - math.exp(
+                -(duration / self.calibration.t1 + duration / self.calibration.t2)
+            )
+        counts: Dict[str, int] = {}
+        num_qubits = reduced.num_qubits
+        for _ in range(shots):
+            outcome = self._one_trajectory(
+                gates, num_qubits, compact_measured, decoherence_failure
+            )
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return NoisyResult(counts=counts, shots=shots, measured_qubits=tuple(measured_qubits))
+
+    # ------------------------------------------------------------------
+    def _one_trajectory(
+        self,
+        gates: Sequence[Instruction],
+        num_qubits: int,
+        measured: Sequence[int],
+        decoherence_failure: float,
+    ) -> str:
+        state = zero_state(num_qubits)
+        for instruction in gates:
+            state = apply_matrix(
+                state, instruction.gate.matrix(), instruction.qubits, num_qubits
+            )
+            error = self._error_probability(instruction)
+            if error > 0 and self.rng.random() < error:
+                state = self._apply_random_pauli(state, instruction.qubits, num_qubits)
+        if decoherence_failure > 0 and self.rng.random() < decoherence_failure:
+            # Decoherence scrambles the register; report a random outcome.
+            bits = self.rng.integers(0, 2, size=len(measured))
+            return "".join(str(int(b)) for b in bits)
+        probabilities = np.abs(state) ** 2
+        probabilities = probabilities / probabilities.sum()
+        index = int(self.rng.choice(len(probabilities), p=probabilities))
+        bits = [(index >> (num_qubits - 1 - q)) & 1 for q in measured]
+        if self.include_readout_error:
+            bits = [
+                bit ^ 1 if self.rng.random() < self.calibration.readout_error else bit
+                for bit in bits
+            ]
+        return "".join(str(b) for b in bits)
+
+    def _error_probability(self, instruction: Instruction) -> float:
+        name = instruction.name
+        qubits = instruction.qubits
+        if len(qubits) == 1:
+            return self.calibration.one_qubit_gate_error
+        if len(qubits) == 2:
+            error = self.calibration.gate_error("cx", qubits)
+            if name == "swap":
+                return 1.0 - (1.0 - error) ** 3
+            return error
+        raise SimulationError(
+            f"gate {name!r} on {len(qubits)} qubits must be decomposed before "
+            "noisy simulation"
+        )
+
+    def _apply_random_pauli(
+        self, state: np.ndarray, qubits: Tuple[int, ...], num_qubits: int
+    ) -> np.ndarray:
+        labels = ["I"] * len(qubits)
+        while all(label == "I" for label in labels):
+            labels = [
+                _PAULI_LABELS[int(self.rng.integers(0, 4))] for _ in qubits
+            ]
+        for qubit, label in zip(qubits, labels):
+            if label != "I":
+                state = apply_matrix(state, _PAULI_MATRICES[label], (qubit,), num_qubits)
+        return state
+
+
+class GateFailureSampler:
+    """The paper's simplified error model, sampled shot by shot.
+
+    A shot is trouble free with probability
+    ``prod_i (1 - e_i) * exp(-(Δ/T1 + Δ/T2))``; trouble-free shots sample the
+    ideal output distribution, all other shots return a uniformly random
+    bitstring over the measured qubits.  Readout flips are applied on top.
+    """
+
+    def __init__(
+        self,
+        calibration: DeviceCalibration,
+        seed: Optional[int] = None,
+        include_readout_error: bool = True,
+    ) -> None:
+        self.calibration = calibration
+        self.rng = np.random.default_rng(seed)
+        self.include_readout_error = include_readout_error
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        measured_qubits: Optional[Sequence[int]] = None,
+    ) -> NoisyResult:
+        """Sample ``shots`` outcomes under the simplified failure model."""
+        if shots < 1:
+            raise SimulationError("shots must be positive")
+        if measured_qubits is None:
+            measured_qubits = _measured_qubits(circuit) or sorted(circuit.active_qubits())
+        measured_qubits = list(measured_qubits)
+        reduced, mapping = _reduce_to_active(circuit, measured_qubits)
+        compact_measured = [mapping[q] for q in measured_qubits]
+        estimate = estimate_success(
+            circuit.without(["measure", "barrier"]), self.calibration, include_readout=False
+        )
+        trouble_free = estimate.gate_success * estimate.coherence_success
+        ideal = StatevectorSimulator(num_qubits_limit=22).probabilities(
+            reduced.without(["measure"]), compact_measured
+        )
+        outcomes = list(ideal)
+        weights = np.array([ideal[o] for o in outcomes])
+        weights = weights / weights.sum()
+        width = len(measured_qubits)
+        counts: Dict[str, int] = {}
+        for _ in range(shots):
+            if self.rng.random() < trouble_free:
+                outcome = outcomes[int(self.rng.choice(len(outcomes), p=weights))]
+            else:
+                outcome = format(int(self.rng.integers(0, 2**width)), f"0{width}b")
+            if self.include_readout_error:
+                bits = [
+                    bit if self.rng.random() >= self.calibration.readout_error else 1 - bit
+                    for bit in (int(ch) for ch in outcome)
+                ]
+                outcome = "".join(str(b) for b in bits)
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return NoisyResult(counts=counts, shots=shots, measured_qubits=tuple(measured_qubits))

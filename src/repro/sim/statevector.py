@@ -1,0 +1,166 @@
+"""Dense statevector simulation.
+
+Convention: qubit 0 is the most significant bit of the computational basis
+index, so the basis state ``|q0 q1 ... q_{n-1}⟩`` has index
+``q0*2^(n-1) + q1*2^(n-2) + ... + q_{n-1}``.  Bitstrings returned by the
+samplers are written in that same order (leftmost character = qubit 0).
+
+The simulator is intended for verification (decomposition equivalence) and for
+the noisy Monte-Carlo sampler; it is exact and dense, so it is practical up to
+roughly 20 qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..exceptions import SimulationError
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The all-zeros computational basis state on ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise SimulationError("need at least one qubit")
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(bits: Sequence[int], num_qubits: Optional[int] = None) -> np.ndarray:
+    """The basis state ``|bits⟩`` where ``bits[0]`` is qubit 0's value."""
+    bits = [int(b) for b in bits]
+    if any(b not in (0, 1) for b in bits):
+        raise SimulationError(f"bits must be 0/1, got {bits}")
+    n = num_qubits if num_qubits is not None else len(bits)
+    if len(bits) != n:
+        raise SimulationError("bit string length must equal the number of qubits")
+    index = 0
+    for bit in bits:
+        index = (index << 1) | bit
+    state = np.zeros(2**n, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def apply_matrix(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` unitary to the given qubits of a statevector.
+
+    The first qubit in ``qubits`` corresponds to the most significant bit of
+    the matrix's index, matching :meth:`repro.circuits.gate.Gate.matrix`.
+    """
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"matrix of shape {matrix.shape} does not act on {k} qubits"
+        )
+    tensor = state.reshape((2,) * num_qubits)
+    gate_tensor = matrix.reshape((2,) * (2 * k))
+    # Contract the gate's input axes (the last k axes) with the target qubits.
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), list(qubits)))
+    # tensordot puts the gate's output axes first; move them back into place.
+    moved = np.moveaxis(moved, list(range(k)), list(qubits))
+    return moved.reshape(-1)
+
+
+def apply_instruction(state: np.ndarray, instruction: Instruction, num_qubits: int) -> np.ndarray:
+    """Apply a unitary instruction to a statevector (measure/barrier are skipped)."""
+    if not instruction.gate.is_unitary:
+        return state
+    return apply_matrix(state, instruction.gate.matrix(), instruction.qubits, num_qubits)
+
+
+class StatevectorSimulator:
+    """Ideal (noiseless) statevector simulator."""
+
+    def __init__(self, num_qubits_limit: int = 24) -> None:
+        self.num_qubits_limit = num_qubits_limit
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return the final statevector after applying every unitary gate."""
+        if circuit.num_qubits > self.num_qubits_limit:
+            raise SimulationError(
+                f"{circuit.num_qubits} qubits exceeds the simulator limit "
+                f"({self.num_qubits_limit}); restrict to active qubits first"
+            )
+        if initial_state is None:
+            state = zero_state(circuit.num_qubits)
+        else:
+            state = np.asarray(initial_state, dtype=complex)
+            if state.shape != (2**circuit.num_qubits,):
+                raise SimulationError("initial state has the wrong dimension")
+            state = state.copy()
+        for instruction in circuit.instructions:
+            state = apply_instruction(state, instruction, circuit.num_qubits)
+        return state
+
+    def probabilities(
+        self,
+        circuit: QuantumCircuit,
+        qubits: Optional[Sequence[int]] = None,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> Dict[str, float]:
+        """Outcome probabilities over ``qubits`` (all qubits by default)."""
+        state = self.run(circuit, initial_state)
+        return marginal_probabilities(state, circuit.num_qubits, qubits)
+
+    def sample_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        qubits: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> Dict[str, int]:
+        """Sample measurement outcomes (noiseless) over the given qubits."""
+        probs = self.probabilities(circuit, qubits, initial_state)
+        rng = np.random.default_rng(seed)
+        outcomes = list(probs.keys())
+        weights = np.array([probs[o] for o in outcomes])
+        weights = weights / weights.sum()
+        draws = rng.choice(len(outcomes), size=shots, p=weights)
+        counts: Dict[str, int] = {}
+        for draw in draws:
+            key = outcomes[int(draw)]
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def marginal_probabilities(
+    state: np.ndarray, num_qubits: int, qubits: Optional[Sequence[int]] = None
+) -> Dict[str, float]:
+    """Probability of each bitstring over ``qubits`` (in the given order)."""
+    probabilities = np.abs(state) ** 2
+    if qubits is None:
+        qubits = list(range(num_qubits))
+    qubits = list(qubits)
+    result: Dict[str, float] = {}
+    tensor = probabilities.reshape((2,) * num_qubits)
+    other_axes = tuple(q for q in range(num_qubits) if q not in qubits)
+    marginal = tensor.sum(axis=other_axes) if other_axes else tensor
+    # ``marginal`` axes are the kept qubits in increasing qubit order; reorder
+    # them to match the caller's requested order.
+    kept_sorted = sorted(qubits)
+    order = [kept_sorted.index(q) for q in qubits]
+    marginal = np.transpose(marginal, order)
+    flat = marginal.reshape(-1)
+    width = len(qubits)
+    for index, probability in enumerate(flat):
+        if probability > 1e-15:
+            result[format(index, f"0{width}b")] = float(probability)
+    return result
+
+
+def statevector_fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """|⟨a|b⟩|² between two statevectors."""
+    if state_a.shape != state_b.shape:
+        raise SimulationError("states have different dimensions")
+    return float(abs(np.vdot(state_a, state_b)) ** 2)

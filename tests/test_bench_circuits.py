@@ -1,0 +1,243 @@
+"""Tests for the Table 1 benchmark circuit generators."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bench_circuits import (
+    PAPER_BENCHMARKS,
+    PAPER_TABLE1,
+    TOFFOLI_BENCHMARKS,
+    TOFFOLI_FREE_BENCHMARKS,
+    all_benchmark_statistics,
+    benchmark_statistics,
+    bernstein_vazirani,
+    cnx_dirty,
+    cnx_halfborrowed,
+    cnx_inplace,
+    cnx_logancilla,
+    cuccaro_adder,
+    cuccaro_layout,
+    get_benchmark,
+    grovers,
+    incrementer_borrowedbit,
+    qaoa_complete,
+    qft_adder,
+    qft_adder_layout,
+    takahashi_adder,
+    takahashi_layout,
+)
+from repro.exceptions import BenchmarkError
+from repro.sim import StatevectorSimulator, basis_state
+
+SIMULATOR = StatevectorSimulator()
+
+
+def classical_output(circuit, input_bits):
+    """Run a classical-reversible circuit on a basis state, return the output bits."""
+    n = circuit.num_qubits
+    out = SIMULATOR.run(circuit, basis_state(input_bits))
+    index = int(np.argmax(np.abs(out)))
+    assert abs(abs(out[index]) - 1.0) < 1e-6, "output is not a basis state"
+    return [(index >> (n - 1 - q)) & 1 for q in range(n)]
+
+
+class TestCnxConstructions:
+    @pytest.mark.parametrize("builder,dirty", [(cnx_dirty, True), (cnx_halfborrowed, True)])
+    def test_dirty_cnx_truth_table(self, builder, dirty):
+        circuit = builder(3)
+        n = circuit.num_qubits
+        controls, target = list(range(3)), n - 1
+        for bits in itertools.product([0, 1], repeat=n):
+            out = classical_output(circuit, list(bits))
+            expected = list(bits)
+            if all(bits[c] for c in controls):
+                expected[target] ^= 1
+            assert out == expected
+
+    def test_clean_ancilla_cnx_truth_table(self):
+        circuit = cnx_logancilla(4)
+        n = circuit.num_qubits
+        controls, ancillas, target = list(range(4)), list(range(4, n - 1)), n - 1
+        for control_bits in itertools.product([0, 1], repeat=4):
+            for target_bit in (0, 1):
+                bits = [0] * n
+                for qubit, bit in zip(controls, control_bits):
+                    bits[qubit] = bit
+                bits[target] = target_bit
+                out = classical_output(circuit, bits)
+                expected = list(bits)
+                if all(control_bits):
+                    expected[target] ^= 1
+                assert out == expected
+                # Clean ancillas must be returned to |0>.
+                assert all(out[a] == 0 for a in ancillas)
+
+    def test_inplace_cnx_truth_table(self):
+        circuit = cnx_inplace(3)
+        for bits in itertools.product([0, 1], repeat=4):
+            out = classical_output(circuit, list(bits))
+            expected = list(bits)
+            if bits[0] and bits[1] and bits[2]:
+                expected[3] ^= 1
+            assert out == expected
+
+    def test_parameter_validation(self):
+        with pytest.raises(BenchmarkError):
+            cnx_dirty(2)
+        with pytest.raises(BenchmarkError):
+            cnx_inplace(1)
+
+    def test_toffoli_counts(self):
+        assert cnx_dirty(6).count_ops()["ccx"] == 16
+        assert cnx_halfborrowed(10).count_ops()["ccx"] == 32
+        assert cnx_logancilla(10).count_ops()["ccx"] == 17
+
+
+class TestAdders:
+    @pytest.mark.parametrize("num_bits", [2, 3])
+    def test_cuccaro_adds(self, num_bits):
+        circuit = cuccaro_adder(num_bits)
+        layout = cuccaro_layout(num_bits)
+        for a in range(2**num_bits):
+            for b in range(2**num_bits):
+                bits = [0] * circuit.num_qubits
+                for i in range(num_bits):
+                    bits[layout.a[i]] = (a >> i) & 1
+                    bits[layout.b[i]] = (b >> i) & 1
+                out = classical_output(circuit, bits)
+                result = sum(out[layout.b[i]] << i for i in range(num_bits))
+                result += out[layout.carry_out] << num_bits
+                assert result == a + b
+                # The a register is restored.
+                assert sum(out[layout.a[i]] << i for i in range(num_bits)) == a
+
+    @pytest.mark.parametrize("num_bits", [2, 3, 4])
+    def test_takahashi_adds(self, num_bits):
+        circuit = takahashi_adder(num_bits, pad_to=2 * num_bits + 1)
+        layout = takahashi_layout(num_bits)
+        for a in range(2**num_bits):
+            for b in range(2**num_bits):
+                bits = [0] * circuit.num_qubits
+                for i in range(num_bits):
+                    bits[layout.a[i]] = (a >> i) & 1
+                    bits[layout.b[i]] = (b >> i) & 1
+                out = classical_output(circuit, bits)
+                result = sum(out[layout.b[i]] << i for i in range(num_bits))
+                result += out[layout.carry_out] << num_bits
+                assert result == a + b
+
+    @pytest.mark.parametrize("num_bits", [2, 3])
+    def test_qft_adder_adds_mod_2n(self, num_bits):
+        circuit = qft_adder(num_bits)
+        layout = qft_adder_layout(num_bits)
+        for a in range(2**num_bits):
+            for b in range(2**num_bits):
+                bits = [0] * circuit.num_qubits
+                for i in range(num_bits):
+                    bits[layout.a[i]] = (a >> i) & 1
+                    bits[layout.b[i]] = (b >> i) & 1
+                out = SIMULATOR.run(circuit, basis_state(bits))
+                index = int(np.argmax(np.abs(out)))
+                outbits = [(index >> (circuit.num_qubits - 1 - q)) & 1
+                           for q in range(circuit.num_qubits)]
+                result = sum(outbits[layout.b[i]] << i for i in range(num_bits))
+                assert result == (a + b) % (2**num_bits)
+
+    def test_qft_adder_has_no_toffolis(self):
+        assert "ccx" not in qft_adder(8).count_ops()
+
+    def test_adder_validation(self):
+        with pytest.raises(BenchmarkError):
+            cuccaro_adder(0)
+        with pytest.raises(BenchmarkError):
+            takahashi_adder(1)
+
+
+class TestAlgorithms:
+    def test_grover_amplifies_marked_state(self):
+        circuit = grovers(4)
+        data = list(range(4))
+        probabilities = SIMULATOR.probabilities(circuit, qubits=data)
+        assert probabilities.get("1111", 0.0) > 0.9
+
+    def test_grover_custom_marked_state(self):
+        circuit = grovers(4, marked="1010")
+        probabilities = SIMULATOR.probabilities(circuit, qubits=list(range(4)))
+        assert probabilities.get("1010", 0.0) > 0.9
+
+    def test_bv_recovers_secret(self):
+        secret = "10110"
+        circuit = bernstein_vazirani(6, secret=secret)
+        probabilities = SIMULATOR.probabilities(circuit, qubits=list(range(5)))
+        assert probabilities.get(secret, 0.0) == pytest.approx(1.0)
+
+    def test_bv_gate_counts(self):
+        circuit = bernstein_vazirani(20)
+        assert circuit.count_ops()["cx"] == 19
+        assert "ccx" not in circuit.count_ops()
+
+    def test_qaoa_structure(self):
+        circuit = qaoa_complete(10)
+        counts = circuit.count_ops()
+        assert counts["rzz"] == 45
+        assert counts["h"] == 10
+        assert "ccx" not in counts
+
+    def test_qaoa_multiple_rounds_and_seed(self):
+        circuit = qaoa_complete(4, rounds=2, seed=3)
+        assert circuit.count_ops()["rzz"] == 12
+
+    def test_incrementer_increments(self):
+        circuit = incrementer_borrowedbit(3)
+        for value in range(8):
+            for borrowed in (0, 1):
+                bits = [(value >> 0) & 1, (value >> 1) & 1, (value >> 2) & 1, borrowed]
+                out = classical_output(circuit, bits)
+                result = out[0] + 2 * out[1] + 4 * out[2]
+                assert result == (value + 1) % 8
+                assert out[3] == borrowed  # the borrowed bit is restored
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            grovers(2)
+        with pytest.raises(BenchmarkError):
+            bernstein_vazirani(1)
+        with pytest.raises(BenchmarkError):
+            qaoa_complete(1)
+        with pytest.raises(BenchmarkError):
+            incrementer_borrowedbit(1)
+        with pytest.raises(BenchmarkError):
+            grovers(4, marked="abc")
+
+
+class TestSuite:
+    def test_all_benchmarks_build(self):
+        for name in PAPER_BENCHMARKS:
+            circuit = get_benchmark(name)
+            assert len(circuit) > 0
+
+    def test_qubit_counts_match_table1(self):
+        for stats in all_benchmark_statistics():
+            assert stats.qubits == PAPER_TABLE1[stats.name]["qubits"], stats.name
+
+    @pytest.mark.parametrize(
+        "name", ["cnx_dirty-11", "cnx_halfborrowed-19", "cnx_logancilla-19",
+                 "cuccaro_adder-20", "grovers-9"]
+    )
+    def test_toffoli_counts_match_table1_exactly(self, name):
+        stats = benchmark_statistics(name)
+        assert stats.toffolis == PAPER_TABLE1[name]["toffolis"]
+
+    def test_toffoli_free_benchmarks_have_no_toffolis(self):
+        for name in TOFFOLI_FREE_BENCHMARKS:
+            assert benchmark_statistics(name).toffolis == 0
+
+    def test_toffoli_benchmarks_have_toffolis(self):
+        for name in TOFFOLI_BENCHMARKS:
+            assert benchmark_statistics(name).toffolis > 0
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(BenchmarkError):
+            get_benchmark("shor-2048")

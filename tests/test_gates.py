@@ -1,0 +1,139 @@
+"""Unit tests for the gate library and gate matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Gate, gate_matrix
+from repro.circuits import library
+from repro.exceptions import GateError
+
+
+ALL_FIXED_GATES = [
+    ("id", 1), ("x", 1), ("y", 1), ("z", 1), ("h", 1), ("s", 1), ("sdg", 1),
+    ("t", 1), ("tdg", 1), ("sx", 1), ("sxdg", 1), ("cx", 2), ("cz", 2),
+    ("cy", 2), ("ch", 2), ("swap", 2), ("ccx", 3), ("ccz", 3), ("cswap", 3),
+]
+
+PARAMETRIC_GATES = [
+    ("rx", 1, (0.3,)), ("ry", 1, (1.1,)), ("rz", 1, (-0.7,)), ("u1", 1, (0.5,)),
+    ("p", 1, (2.2,)), ("u2", 1, (0.4, 1.3)), ("u3", 1, (0.9, 0.2, -1.1)),
+    ("cp", 2, (0.6,)), ("crz", 2, (1.4,)), ("rzz", 2, (0.8,)),
+]
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name,arity", ALL_FIXED_GATES)
+    def test_fixed_gate_matrices_are_unitary(self, name, arity):
+        matrix = Gate(name, arity).matrix()
+        dim = 2**arity
+        assert matrix.shape == (dim, dim)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-12)
+
+    @pytest.mark.parametrize("name,arity,params", PARAMETRIC_GATES)
+    def test_parametric_gate_matrices_are_unitary(self, name, arity, params):
+        matrix = Gate(name, arity, params).matrix()
+        dim = 2**arity
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-12)
+
+    def test_x_matrix(self):
+        assert np.allclose(gate_matrix("x"), [[0, 1], [1, 0]])
+
+    def test_h_matrix(self):
+        expected = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(gate_matrix("h"), expected)
+
+    def test_cx_flips_target_when_control_set(self):
+        cx = gate_matrix("cx")
+        # |10> -> |11> with qubit 0 (control) the most significant bit.
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.allclose(cx @ state, [0, 0, 0, 1])
+
+    def test_ccx_is_controlled_controlled_x(self):
+        ccx = gate_matrix("ccx")
+        assert np.allclose(ccx[:6, :6], np.eye(6))
+        assert ccx[6, 7] == 1 and ccx[7, 6] == 1
+
+    def test_swap_matrix(self):
+        swap = gate_matrix("swap")
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(swap @ state, [0, 0, 1, 0])  # |10>
+
+    def test_t_is_fourth_root_of_z(self):
+        t = gate_matrix("t")
+        assert np.allclose(np.linalg.matrix_power(t, 4), gate_matrix("z"))
+
+    def test_sx_is_square_root_of_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_u2_equals_u3_with_pi_over_2(self):
+        assert np.allclose(
+            Gate("u2", 1, (0.3, 0.7)).matrix(),
+            Gate("u3", 1, (math.pi / 2, 0.3, 0.7)).matrix(),
+        )
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(GateError):
+            Gate("bogus", 1).matrix()
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(GateError):
+            library.measure_op().matrix()
+
+
+class TestGateInverses:
+    @pytest.mark.parametrize("name,arity", ALL_FIXED_GATES)
+    def test_fixed_inverse_is_correct(self, name, arity):
+        gate = Gate(name, arity)
+        product = gate.inverse().matrix() @ gate.matrix()
+        phase = product[0, 0]
+        assert np.allclose(product, phase * np.eye(2**arity), atol=1e-12)
+
+    @pytest.mark.parametrize("name,arity,params", PARAMETRIC_GATES)
+    def test_parametric_inverse_is_correct(self, name, arity, params):
+        gate = Gate(name, arity, params)
+        product = gate.inverse().matrix() @ gate.matrix()
+        phase = product[0, 0]
+        assert np.allclose(product, phase * np.eye(2**arity), atol=1e-12)
+
+    def test_t_inverse_is_tdg(self):
+        assert Gate("t", 1).inverse() == Gate("tdg", 1)
+
+    def test_self_inverse_gates(self):
+        for name, arity in (("x", 1), ("h", 1), ("cx", 2), ("ccx", 3), ("swap", 2)):
+            assert Gate(name, arity).inverse() == Gate(name, arity)
+
+
+class TestGateProperties:
+    def test_equality_and_hash(self):
+        assert Gate("rz", 1, (0.5,)) == Gate("rz", 1, (0.5,))
+        assert hash(Gate("cx", 2)) == hash(Gate("cx", 2))
+        assert Gate("rz", 1, (0.5,)) != Gate("rz", 1, (0.6,))
+
+    def test_is_two_qubit(self):
+        assert library.cx_gate().is_two_qubit
+        assert not library.ccx_gate().is_two_qubit
+        assert library.ccx_gate().is_multi_qubit
+
+    def test_identity_detection(self):
+        assert Gate("id", 1).is_identity()
+        assert Gate("rz", 1, (0.0,)).is_identity()
+        assert Gate("u1", 1, (0.0,)).is_identity()
+        assert not Gate("x", 1).is_identity()
+
+    def test_zero_qubit_gate_rejected(self):
+        with pytest.raises(GateError):
+            Gate("x", 0)
+
+    def test_gate_arity_table_matches_library(self):
+        num_params = {"rx": 1, "ry": 1, "rz": 1, "u1": 1, "p": 1, "cp": 1,
+                      "crz": 1, "rzz": 1, "u2": 2, "u3": 3}
+        for name, arity in library.GATE_ARITY.items():
+            if name in ("measure", "reset"):
+                continue
+            params = tuple(0.5 for _ in range(num_params.get(name, 0)))
+            assert Gate(name, arity, params).matrix().shape == (2**arity, 2**arity)
