@@ -1,0 +1,99 @@
+"""Shots-per-second of the noisy samplers, before and after batching.
+
+"Before" is the seed repository's per-shot Python loop (frozen in
+``_legacy_samplers.py``); "after" is the batched engine that groups shots by
+Pauli-error pattern and vectorizes everything else.  The workload is the
+ISSUE's acceptance case: a decomposed Toffoli on 4 qubits at 1024 shots under
+the 2020-08-19 Johannesburg calibration.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sim_throughput.py -q -s
+
+or standalone (prints a small table, asserts the >=10x speedup)::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _legacy_samplers import LegacyGateFailureSampler, LegacyTrajectorySampler
+
+from repro.circuits import QuantumCircuit
+from repro.hardware import johannesburg_aug19_2020
+from repro.sim import GateFailureSampler, PauliTrajectorySampler
+
+SHOTS = 1024
+CALIBRATION = johannesburg_aug19_2020()
+
+
+def toffoli_workload() -> QuantumCircuit:
+    """Decomposed |110⟩-input Toffoli plus a spectator CNOT (4 qubits)."""
+    circuit = QuantumCircuit(4)
+    circuit.x(0).x(1)
+    circuit.h(2).cx(1, 2).tdg(2).cx(0, 2).t(2).cx(1, 2).tdg(2).cx(0, 2)
+    circuit.t(1).t(2).h(2).cx(0, 1).t(0).tdg(1).cx(0, 1)
+    circuit.cx(2, 3)
+    return circuit
+
+
+def shots_per_second(sampler, circuit, repeats: int = 3) -> float:
+    """Best-of-``repeats`` throughput of ``sampler.run`` on ``circuit``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = sampler.run(circuit, shots=SHOTS)
+        best = min(best, time.perf_counter() - start)
+        assert sum(result.counts.values()) == SHOTS
+    return SHOTS / best
+
+
+def measure_all():
+    """Throughput of every sampler variant on the Toffoli workload."""
+    circuit = toffoli_workload()
+    return {
+        "trajectory (per-shot)": shots_per_second(
+            LegacyTrajectorySampler(CALIBRATION, seed=0), circuit
+        ),
+        "trajectory (batched)": shots_per_second(
+            PauliTrajectorySampler(CALIBRATION, seed=0), circuit
+        ),
+        "failure (per-shot)": shots_per_second(
+            LegacyGateFailureSampler(CALIBRATION, seed=0), circuit
+        ),
+        "failure (batched)": shots_per_second(
+            GateFailureSampler(CALIBRATION, seed=0), circuit
+        ),
+    }
+
+
+def report(rates) -> str:
+    lines = [f"{SHOTS}-shot Toffoli workload, Johannesburg 2020-08-19 calibration"]
+    for label, rate in rates.items():
+        lines.append(f"  {label:24s} {rate:>12,.0f} shots/s")
+    lines.append(
+        "  speedup: trajectory {:.1f}x, failure {:.1f}x".format(
+            rates["trajectory (batched)"] / rates["trajectory (per-shot)"],
+            rates["failure (batched)"] / rates["failure (per-shot)"],
+        )
+    )
+    return "\n".join(lines)
+
+
+def test_trajectory_sampler_throughput():
+    rates = measure_all()
+    print("\n" + report(rates))
+    # The ISSUE's acceptance bar: >=10x shots/second for the trajectory
+    # sampler on the 4-qubit, 1024-shot Toffoli workload.
+    assert rates["trajectory (batched)"] >= 10 * rates["trajectory (per-shot)"]
+    # The failure sampler's loop was lighter, so the bar is lower.
+    assert rates["failure (batched)"] >= 3 * rates["failure (per-shot)"]
+
+
+if __name__ == "__main__":
+    test_trajectory_sampler_throughput()
+    print("ok")

@@ -11,7 +11,7 @@ Run with:  python examples/grover_on_noisy_hardware.py
 from repro.bench_circuits import grovers
 from repro.compiler import compile_baseline, compile_trios
 from repro.hardware import johannesburg, near_term_calibration
-from repro.sim import GateFailureSampler
+from repro.sim import get_backend
 
 
 def main() -> None:
@@ -28,9 +28,9 @@ def main() -> None:
         ("baseline", compile_baseline(program, device, seed=7)),
         ("trios", compile_trios(program, device, seed=7)),
     ):
-        sampler = GateFailureSampler(calibration, seed=42)
+        sampler = get_backend("failure", calibration, seed=42)
         measured = result.physical_qubits_of(list(range(num_data)))
-        counts = sampler.run(result.circuit, shots=shots, measured_qubits=measured)
+        counts = sampler.run_counts(result.circuit, shots=shots, measured_qubits=measured)
         found = counts.success_rate(marked)
         print(f"{label:9s} cnots={result.two_qubit_gate_count:4d}  "
               f"estimated success={result.success_probability(calibration):.3f}  "

@@ -51,11 +51,19 @@ def _build_parser() -> argparse.ArgumentParser:
     toffoli.add_argument("--shots", type=int, default=2048,
                          help="shots per compiled circuit (default 2048)")
     toffoli.add_argument("--seed", type=int, default=0, help="random seed")
+    toffoli.add_argument("--sampler", default="failure",
+                         choices=["failure", "trajectory", "ideal"],
+                         help="simulation backend (default: failure)")
 
     benchmarks = subparsers.add_parser(
         "benchmarks", help="Figures 9-11: benchmark suite on the four topologies"
     )
     benchmarks.add_argument("--seed", type=int, default=11, help="routing seed")
+    benchmarks.add_argument("--backend", default="analytic",
+                            choices=["analytic", "failure", "trajectory", "ideal"],
+                            help="success model: analytic (paper) or a sampler")
+    benchmarks.add_argument("--shots", type=int, default=2048,
+                            help="shots per circuit for sampling backends")
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="Figure 12: sensitivity to device error rates"
@@ -65,6 +73,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
         help="error-rate improvement factors",
     )
+    sensitivity.add_argument("--backend", default="analytic",
+                             choices=["analytic", "failure", "trajectory", "ideal"],
+                             help="success model: analytic (paper) or a sampler")
+    sensitivity.add_argument("--shots", type=int, default=2048,
+                             help="shots per circuit for sampling backends")
 
     subparsers.add_parser("all", help="Run everything (may take a minute)")
     return parser
@@ -75,8 +88,9 @@ def _run_table1() -> None:
     print(format_table1(all_benchmark_statistics()))
 
 
-def _run_toffoli(triplets: int, shots: int, seed: int) -> None:
-    result = run_toffoli_experiment(num_triplets=triplets, shots=shots, seed=seed)
+def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure") -> None:
+    result = run_toffoli_experiment(num_triplets=triplets, shots=shots, seed=seed,
+                                    sampler=sampler)
     print("[Figure 7] CNOT gate counts\n")
     print(format_toffoli_gate_counts(result))
     print("\n[Figure 6] Success probabilities\n")
@@ -88,8 +102,8 @@ def _run_toffoli(triplets: int, shots: int, seed: int) -> None:
           f"(paper: 23%)")
 
 
-def _run_benchmarks(seed: int) -> None:
-    result = run_benchmark_experiment(seed=seed)
+def _run_benchmarks(seed: int, backend: str = "analytic", shots: int = 2048) -> None:
+    result = run_benchmark_experiment(seed=seed, backend=backend, shots=shots)
     print("[Figure 9] Simulated success probabilities\n")
     print(format_benchmark_success(result))
     print("[Figure 10] CNOT reduction\n")
@@ -98,8 +112,10 @@ def _run_benchmarks(seed: int) -> None:
     print(format_benchmark_normalized(result))
 
 
-def _run_sensitivity(factors: Sequence[float]) -> None:
-    result = run_sensitivity_experiment(factors=list(factors))
+def _run_sensitivity(factors: Sequence[float], backend: str = "analytic",
+                     shots: int = 2048) -> None:
+    result = run_sensitivity_experiment(factors=list(factors), backend=backend,
+                                        shots=shots)
     print("[Figure 12] p_trios / p_baseline vs error-rate improvement\n")
     print(format_sensitivity(result))
 
@@ -110,11 +126,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         _run_table1()
     elif args.command == "toffoli":
-        _run_toffoli(args.triplets, args.shots, args.seed)
+        _run_toffoli(args.triplets, args.shots, args.seed, args.sampler)
     elif args.command == "benchmarks":
-        _run_benchmarks(args.seed)
+        _run_benchmarks(args.seed, args.backend, args.shots)
     elif args.command == "sensitivity":
-        _run_sensitivity(args.factors)
+        _run_sensitivity(args.factors, args.backend, args.shots)
     elif args.command == "all":
         _run_table1()
         print("\n")

@@ -28,7 +28,7 @@ from ..exceptions import ReproError
 from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
 from ..hardware.topology import CouplingMap
 from ..hardware.library import johannesburg
-from ..sim.noise import GateFailureSampler, PauliTrajectorySampler
+from ..sim import get_backend
 from .stats import geometric_mean
 
 #: The four compiler configurations of Figures 6 and 7, in plot order.
@@ -155,8 +155,10 @@ def run_toffoli_experiment(
             99 in Figure 8).
         shots: Shots per compiled circuit (the paper uses 8192 on hardware).
         seed: Seed for triplet sampling, stochastic routing and the sampler.
-        sampler: ``"failure"`` for the fast gate-failure model, ``"trajectory"``
-            for the stochastic-Pauli Monte Carlo (slower, more detailed).
+        sampler: Name of a registered :class:`~repro.sim.SimulationBackend` —
+            ``"failure"`` for the fast gate-failure model, ``"trajectory"``
+            for the stochastic-Pauli Monte Carlo (slower, more detailed), or
+            ``"ideal"`` for a noiseless control run.
     """
     coupling_map = coupling_map or johannesburg()
     calibration = calibration or johannesburg_aug19_2020()
@@ -175,13 +177,8 @@ def run_toffoli_experiment(
             )
             row.cnot_counts[configuration] = compiled.two_qubit_gate_count
             measured = compiled.physical_qubits_of([0, 1, 2])
-            if sampler == "trajectory":
-                engine = PauliTrajectorySampler(calibration, seed=seed + index)
-            elif sampler == "failure":
-                engine = GateFailureSampler(calibration, seed=seed + index)
-            else:
-                raise ReproError(f"unknown sampler {sampler!r}")
-            counts = engine.run(
+            engine = get_backend(sampler, calibration, seed=seed + index)
+            counts = engine.run_counts(
                 compiled.circuit.without(["measure"]), shots=shots,
                 measured_qubits=measured,
             )

@@ -203,8 +203,14 @@ class LegalizationRouter(GreedySwapRouter):
                 for logical, physical in saved_final.to_dict().items()
             }
             properties["final_layout"] = Layout(composed)
+        # Restore (or remove) the keys the temporary trivial layout touched so
+        # no full-device placeholder leaks into later passes.
         if saved_initial is not None:
             properties["initial_layout"] = saved_initial
+        else:
+            properties.pop("initial_layout", None)
         if saved_layout is not None:
             properties["layout"] = saved_layout
+        else:
+            properties.pop("layout", None)
         return routed

@@ -1,5 +1,19 @@
-"""Simulators: ideal statevector/unitary, noisy samplers, analytic estimator."""
+"""Simulators: ideal statevector/unitary, noisy samplers, analytic estimator.
 
+Every shot-producing engine implements the :class:`SimulationBackend`
+protocol — ``run_counts(circuit, shots, measured_qubits, seed) ->
+NoisyResult`` — so experiment code can select an execution model by name via
+:func:`get_backend` instead of hard-wiring sampler classes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import SimulationError
+from ..hardware.calibration import DeviceCalibration
+from .result import NoisyResult, counts_from_bit_array
 from .statevector import (
     StatevectorSimulator,
     zero_state,
@@ -21,15 +35,72 @@ from .estimator import (
     success_ratio,
     circuit_duration,
 )
-from .noise import PauliTrajectorySampler, GateFailureSampler, NoisyResult
+from .noise import PauliTrajectorySampler, GateFailureSampler
+
+
+@runtime_checkable
+class SimulationBackend(Protocol):
+    """Anything that can turn a circuit into hardware-style shot counts."""
+
+    def run_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        measured_qubits: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> NoisyResult:
+        """Execute ``circuit`` for ``shots`` shots and return counts."""
+        ...
+
+
+#: Registered backend names, in documentation order.
+BACKEND_NAMES: Tuple[str, ...] = ("failure", "trajectory", "ideal")
+
+
+def get_backend(
+    name: str,
+    calibration: Optional[DeviceCalibration] = None,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> SimulationBackend:
+    """Construct a :class:`SimulationBackend` by name.
+
+    Args:
+        name: ``"failure"`` for the fast gate-failure model, ``"trajectory"``
+            for the stochastic-Pauli Monte Carlo, ``"ideal"`` (alias
+            ``"statevector"``) for noiseless sampling.
+        calibration: Device error model; required by the noisy backends and
+            ignored by the ideal one.
+        seed: Seed for the backend's random generator (``run_counts`` may
+            override it per call).
+        **kwargs: Extra constructor arguments, e.g. ``max_active_qubits`` for
+            the noisy samplers or ``num_qubits_limit`` for the ideal backend.
+    """
+    key = name.lower()
+    if key in ("ideal", "statevector"):
+        return StatevectorSimulator(seed=seed, **kwargs)
+    if key in ("failure", "trajectory") and calibration is None:
+        raise SimulationError(f"backend {name!r} requires a device calibration")
+    if key == "failure":
+        return GateFailureSampler(calibration, seed=seed, **kwargs)
+    if key == "trajectory":
+        return PauliTrajectorySampler(calibration, seed=seed, **kwargs)
+    raise SimulationError(
+        f"unknown simulation backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
+    )
+
 
 __all__ = [
+    "SimulationBackend",
+    "BACKEND_NAMES",
+    "get_backend",
     "StatevectorSimulator",
     "zero_state",
     "basis_state",
     "apply_matrix",
     "marginal_probabilities",
     "statevector_fidelity",
+    "counts_from_bit_array",
     "circuit_unitary",
     "permutation_unitary",
     "equal_up_to_global_phase",

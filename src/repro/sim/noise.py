@@ -16,22 +16,36 @@ shot-level samplers driven by a :class:`~repro.hardware.calibration.DeviceCalibr
   uniformly random.  This is fast enough for large sweeps.
 
 Both produce ``counts`` dictionaries like real hardware would.
+
+The shot dimension is batched: instead of evolving one statevector per shot,
+:class:`PauliTrajectorySampler` pre-samples every shot's Pauli-error pattern up
+front, groups the shots that share an identical pattern (at realistic error
+rates the overwhelming majority are error-free) and runs **one** statevector
+evolution per *unique* pattern.  Measurement sampling, readout flips and
+decoherence failures are drawn with single vectorized RNG calls across all
+shots.  The sampled distributions are identical to the per-shot formulation;
+only the order in which random numbers are consumed differs.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import Instruction, QuantumCircuit
-from ..circuits.gate import Gate
 from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration
 from .estimator import circuit_duration, estimate_success
-from .statevector import StatevectorSimulator, apply_matrix, zero_state
+from .result import NoisyResult, counts_from_bit_array
+from .statevector import (
+    StatevectorSimulator,
+    apply_matrix,
+    measured_qubits_of,
+    reduce_to_active_qubits,
+    zero_state,
+)
 
 _PAULI_MATRICES = {
     "I": np.eye(2, dtype=complex),
@@ -41,61 +55,37 @@ _PAULI_MATRICES = {
 }
 _PAULI_LABELS = ("I", "X", "Y", "Z")
 
+#: A shot's error pattern: ``(gate_index, pauli_code)`` pairs, where the code
+#: encodes one base-4 Pauli digit (0=I, 1=X, 2=Y, 3=Z) per gate qubit with the
+#: gate's first qubit in the most significant position.  Codes are never zero
+#: (an all-identity "error" is resampled away by construction).
+ErrorPattern = Tuple[Tuple[int, int], ...]
 
-def _reduce_to_active(
-    circuit: QuantumCircuit, extra_qubits: Sequence[int] = ()
-) -> Tuple[QuantumCircuit, Dict[int, int]]:
-    """Restrict a wide circuit to its active qubits (plus ``extra_qubits``).
 
-    Returns the reduced circuit and the map from original qubit index to the
-    compact index used inside the reduced circuit.
+# Backwards-compatible aliases; the canonical helpers live in .statevector.
+_reduce_to_active = reduce_to_active_qubits
+_measured_qubits = measured_qubits_of
+
+
+def _bits_from_indices(
+    indices: np.ndarray, num_qubits: int, measured: Sequence[int]
+) -> np.ndarray:
+    """Extract the measured qubits' bits from basis-state indices, vectorized.
+
+    Returns a ``(len(indices), len(measured))`` int8 array; qubit 0 is the most
+    significant bit of the basis index (the module-wide convention).
     """
-    active = sorted(circuit.active_qubits() | set(extra_qubits))
-    if not active:
-        active = [0]
-    mapping = {original: compact for compact, original in enumerate(active)}
-    reduced = QuantumCircuit(len(active), circuit.name)
-    for instruction in circuit.instructions:
-        if instruction.name == "barrier":
-            continue
-        reduced.append(
-            instruction.gate,
-            tuple(mapping[q] for q in instruction.qubits),
-            instruction.clbits,
-        )
-    return reduced, mapping
-
-
-def _measured_qubits(circuit: QuantumCircuit) -> List[int]:
-    """Qubits measured by the circuit, in program order (deduplicated)."""
-    seen: List[int] = []
-    for instruction in circuit.instructions:
-        if instruction.name == "measure" and instruction.qubits[0] not in seen:
-            seen.append(instruction.qubits[0])
-    return seen
-
-
-@dataclass
-class NoisyResult:
-    """Counts plus convenience accessors, mimicking a hardware job result."""
-
-    counts: Dict[str, int]
-    shots: int
-    measured_qubits: Tuple[int, ...]
-
-    def probability_of(self, bitstring: str) -> float:
-        """Fraction of shots that produced ``bitstring``."""
-        if self.shots == 0:
-            raise SimulationError("no shots were taken")
-        return self.counts.get(bitstring, 0) / self.shots
-
-    def success_rate(self, expected: str) -> float:
-        """The paper's success-rate metric: fraction of shots matching ``expected``."""
-        return self.probability_of(expected)
+    shifts = np.array([num_qubits - 1 - q for q in measured], dtype=np.int64)
+    return ((indices[:, None] >> shifts[None, :]) & 1).astype(np.int8)
 
 
 class PauliTrajectorySampler:
-    """Monte-Carlo stochastic-Pauli noise simulation (hardware substitute)."""
+    """Monte-Carlo stochastic-Pauli noise simulation (hardware substitute).
+
+    Shots are batched: the per-gate Pauli-error pattern of every shot is drawn
+    up front with vectorized RNG calls, shots are grouped by identical pattern,
+    and a single statevector evolution serves every shot in a group.
+    """
 
     def __init__(
         self,
@@ -147,45 +137,121 @@ class PauliTrajectorySampler:
             decoherence_failure = 1.0 - math.exp(
                 -(duration / self.calibration.t1 + duration / self.calibration.t2)
             )
-        counts: Dict[str, int] = {}
+
         num_qubits = reduced.num_qubits
-        for _ in range(shots):
-            outcome = self._one_trajectory(
-                gates, num_qubits, compact_measured, decoherence_failure
-            )
-            counts[outcome] = counts.get(outcome, 0) + 1
-        return NoisyResult(counts=counts, shots=shots, measured_qubits=tuple(measured_qubits))
+        width = len(compact_measured)
+        bits = np.zeros((shots, width), dtype=np.int8)
+
+        # Decoherence failures scramble the register; those shots report a
+        # uniformly random outcome and never touch a statevector.
+        decohered = np.zeros(shots, dtype=bool)
+        if decoherence_failure > 0:
+            decohered = self.rng.random(shots) < decoherence_failure
+            num_decohered = int(decohered.sum())
+            if num_decohered:
+                bits[decohered] = self.rng.integers(
+                    0, 2, size=(num_decohered, width), dtype=np.int8
+                )
+
+        coherent = np.flatnonzero(~decohered)
+        if coherent.size:
+            patterns = self._sample_error_patterns(gates, coherent.size)
+            groups: Dict[ErrorPattern, List[int]] = {}
+            for shot, pattern in zip(coherent, patterns):
+                groups.setdefault(pattern, []).append(int(shot))
+            for pattern, members in groups.items():
+                probabilities = self._pattern_probabilities(gates, num_qubits, pattern)
+                indices = self.rng.choice(
+                    probabilities.size, size=len(members), p=probabilities
+                )
+                bits[members] = _bits_from_indices(indices, num_qubits, compact_measured)
+
+        if self.include_readout_error and self.calibration.readout_error > 0 and width:
+            flips = self.rng.random((shots, width)) < self.calibration.readout_error
+            bits ^= flips.astype(np.int8)
+
+        return NoisyResult(
+            counts=counts_from_bit_array(bits),
+            shots=shots,
+            measured_qubits=tuple(measured_qubits),
+        )
+
+    def run_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        measured_qubits: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> NoisyResult:
+        """:class:`~repro.sim.SimulationBackend` entry point.
+
+        A non-``None`` ``seed`` reseeds the sampler's generator so repeated
+        calls are reproducible independent of earlier draws.
+        """
+        if seed is not None:
+            self.rng = np.random.default_rng(seed)
+        return self.run(circuit, shots=shots, measured_qubits=measured_qubits)
 
     # ------------------------------------------------------------------
-    def _one_trajectory(
+    def _sample_error_patterns(
+        self, gates: Sequence[Instruction], shots: int
+    ) -> List[ErrorPattern]:
+        """Draw every shot's Pauli-error pattern with vectorized RNG calls."""
+        num_gates = len(gates)
+        if num_gates == 0:
+            return [()] * shots
+        error_rates = np.array(
+            [self._error_probability(inst) for inst in gates], dtype=float
+        )
+        errored = self.rng.random((shots, num_gates)) < error_rates[None, :]
+        # One uniformly random non-identity Pauli combination per errored slot:
+        # codes run over 1 .. 4^k - 1 where k is the gate's qubit count.
+        code_limits = np.array([4 ** len(inst.qubits) for inst in gates], dtype=np.int64)
+        codes = self.rng.integers(1, code_limits[None, :], size=(shots, num_gates))
+        patterns: List[ErrorPattern] = []
+        empty: ErrorPattern = ()
+        for shot in range(shots):
+            row = errored[shot]
+            if not row.any():
+                patterns.append(empty)
+                continue
+            patterns.append(
+                tuple(
+                    (int(g), int(codes[shot, g])) for g in np.flatnonzero(row)
+                )
+            )
+        return patterns
+
+    def _pattern_probabilities(
         self,
         gates: Sequence[Instruction],
         num_qubits: int,
-        measured: Sequence[int],
-        decoherence_failure: float,
-    ) -> str:
+        pattern: ErrorPattern,
+    ) -> np.ndarray:
+        """Outcome distribution of one trajectory with the given error pattern."""
+        inserted = dict(pattern)
         state = zero_state(num_qubits)
-        for instruction in gates:
+        for gate_index, instruction in enumerate(gates):
             state = apply_matrix(
                 state, instruction.gate.matrix(), instruction.qubits, num_qubits
             )
-            error = self._error_probability(instruction)
-            if error > 0 and self.rng.random() < error:
-                state = self._apply_random_pauli(state, instruction.qubits, num_qubits)
-        if decoherence_failure > 0 and self.rng.random() < decoherence_failure:
-            # Decoherence scrambles the register; report a random outcome.
-            bits = self.rng.integers(0, 2, size=len(measured))
-            return "".join(str(int(b)) for b in bits)
+            code = inserted.get(gate_index)
+            if code:
+                state = self._apply_pauli_code(state, code, instruction.qubits, num_qubits)
         probabilities = np.abs(state) ** 2
-        probabilities = probabilities / probabilities.sum()
-        index = int(self.rng.choice(len(probabilities), p=probabilities))
-        bits = [(index >> (num_qubits - 1 - q)) & 1 for q in measured]
-        if self.include_readout_error:
-            bits = [
-                bit ^ 1 if self.rng.random() < self.calibration.readout_error else bit
-                for bit in bits
-            ]
-        return "".join(str(b) for b in bits)
+        return probabilities / probabilities.sum()
+
+    def _apply_pauli_code(
+        self, state: np.ndarray, code: int, qubits: Tuple[int, ...], num_qubits: int
+    ) -> np.ndarray:
+        """Apply the Pauli encoded by ``code`` (base-4 digits, qubits[0] first)."""
+        k = len(qubits)
+        for position, qubit in enumerate(qubits):
+            digit = (code >> (2 * (k - 1 - position))) & 3
+            if digit:
+                label = _PAULI_LABELS[digit]
+                state = apply_matrix(state, _PAULI_MATRICES[label], (qubit,), num_qubits)
+        return state
 
     def _error_probability(self, instruction: Instruction) -> float:
         name = instruction.name
@@ -202,27 +268,15 @@ class PauliTrajectorySampler:
             "noisy simulation"
         )
 
-    def _apply_random_pauli(
-        self, state: np.ndarray, qubits: Tuple[int, ...], num_qubits: int
-    ) -> np.ndarray:
-        labels = ["I"] * len(qubits)
-        while all(label == "I" for label in labels):
-            labels = [
-                _PAULI_LABELS[int(self.rng.integers(0, 4))] for _ in qubits
-            ]
-        for qubit, label in zip(qubits, labels):
-            if label != "I":
-                state = apply_matrix(state, _PAULI_MATRICES[label], (qubit,), num_qubits)
-        return state
-
 
 class GateFailureSampler:
-    """The paper's simplified error model, sampled shot by shot.
+    """The paper's simplified error model, sampled over a batched shot axis.
 
     A shot is trouble free with probability
     ``prod_i (1 - e_i) * exp(-(Δ/T1 + Δ/T2))``; trouble-free shots sample the
     ideal output distribution, all other shots return a uniformly random
     bitstring over the measured qubits.  Readout flips are applied on top.
+    All per-shot decisions are drawn with single vectorized RNG calls.
     """
 
     def __init__(
@@ -230,10 +284,12 @@ class GateFailureSampler:
         calibration: DeviceCalibration,
         seed: Optional[int] = None,
         include_readout_error: bool = True,
+        max_active_qubits: int = 22,
     ) -> None:
         self.calibration = calibration
         self.rng = np.random.default_rng(seed)
         self.include_readout_error = include_readout_error
+        self.max_active_qubits = max_active_qubits
 
     def run(
         self,
@@ -248,29 +304,58 @@ class GateFailureSampler:
             measured_qubits = _measured_qubits(circuit) or sorted(circuit.active_qubits())
         measured_qubits = list(measured_qubits)
         reduced, mapping = _reduce_to_active(circuit, measured_qubits)
+        if reduced.num_qubits > self.max_active_qubits:
+            raise SimulationError(
+                f"{reduced.num_qubits} active qubits exceeds the gate-failure "
+                f"sampler limit ({self.max_active_qubits})"
+            )
         compact_measured = [mapping[q] for q in measured_qubits]
         estimate = estimate_success(
             circuit.without(["measure", "barrier"]), self.calibration, include_readout=False
         )
         trouble_free = estimate.gate_success * estimate.coherence_success
-        ideal = StatevectorSimulator(num_qubits_limit=22).probabilities(
+        ideal = StatevectorSimulator(num_qubits_limit=self.max_active_qubits).probabilities(
             reduced.without(["measure"]), compact_measured
         )
         outcomes = list(ideal)
         weights = np.array([ideal[o] for o in outcomes])
         weights = weights / weights.sum()
         width = len(measured_qubits)
-        counts: Dict[str, int] = {}
-        for _ in range(shots):
-            if self.rng.random() < trouble_free:
-                outcome = outcomes[int(self.rng.choice(len(outcomes), p=weights))]
-            else:
-                outcome = format(int(self.rng.integers(0, 2**width)), f"0{width}b")
-            if self.include_readout_error:
-                bits = [
-                    bit if self.rng.random() >= self.calibration.readout_error else 1 - bit
-                    for bit in (int(ch) for ch in outcome)
-                ]
-                outcome = "".join(str(b) for b in bits)
-            counts[outcome] = counts.get(outcome, 0) + 1
-        return NoisyResult(counts=counts, shots=shots, measured_qubits=tuple(measured_qubits))
+        outcome_bits = np.array(
+            [[int(ch) for ch in outcome] for outcome in outcomes], dtype=np.int8
+        ).reshape(len(outcomes), width)
+
+        clean = self.rng.random(shots) < trouble_free
+        num_clean = int(clean.sum())
+        bits = np.zeros((shots, width), dtype=np.int8)
+        if num_clean:
+            draws = self.rng.choice(len(outcomes), size=num_clean, p=weights)
+            bits[clean] = outcome_bits[draws]
+        if shots - num_clean:
+            bits[~clean] = self.rng.integers(
+                0, 2, size=(shots - num_clean, width), dtype=np.int8
+            )
+        if self.include_readout_error and self.calibration.readout_error > 0 and width:
+            flips = self.rng.random((shots, width)) < self.calibration.readout_error
+            bits ^= flips.astype(np.int8)
+        return NoisyResult(
+            counts=counts_from_bit_array(bits),
+            shots=shots,
+            measured_qubits=tuple(measured_qubits),
+        )
+
+    def run_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        measured_qubits: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> NoisyResult:
+        """:class:`~repro.sim.SimulationBackend` entry point.
+
+        A non-``None`` ``seed`` reseeds the sampler's generator so repeated
+        calls are reproducible independent of earlier draws.
+        """
+        if seed is not None:
+            self.rng = np.random.default_rng(seed)
+        return self.run(circuit, shots=shots, measured_qubits=measured_qubits)

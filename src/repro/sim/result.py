@@ -1,0 +1,56 @@
+"""Shot-level execution results shared by every simulation backend.
+
+:class:`NoisyResult` is the common return type of the
+:class:`~repro.sim.SimulationBackend` protocol: a ``counts`` dictionary plus
+convenience accessors, mimicking a hardware job result.  It lives in its own
+module so that both the noisy samplers (:mod:`repro.sim.noise`) and the ideal
+simulator (:mod:`repro.sim.statevector`) can produce it without circular
+imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SimulationError
+
+
+@dataclass
+class NoisyResult:
+    """Counts plus convenience accessors, mimicking a hardware job result."""
+
+    counts: Dict[str, int]
+    shots: int
+    measured_qubits: Tuple[int, ...]
+
+    def probability_of(self, bitstring: str) -> float:
+        """Fraction of shots that produced ``bitstring``."""
+        if self.shots == 0:
+            raise SimulationError("no shots were taken")
+        return self.counts.get(bitstring, 0) / self.shots
+
+    def success_rate(self, expected: str) -> float:
+        """The paper's success-rate metric: fraction of shots matching ``expected``."""
+        return self.probability_of(expected)
+
+
+def counts_from_bit_array(bits: np.ndarray) -> Dict[str, int]:
+    """Aggregate a ``(shots, width)`` 0/1 array into a counts dictionary.
+
+    This is the vectorized tail of every batched sampler: rows are packed into
+    integers, tallied with a single :func:`numpy.unique`, and formatted as
+    bitstrings (leftmost character = first measured qubit).
+    """
+    shots, width = bits.shape
+    if width == 0:
+        return {"": int(shots)} if shots else {}
+    place_values = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+    packed = bits.astype(np.int64) @ place_values
+    values, tallies = np.unique(packed, return_counts=True)
+    return {
+        format(int(value), f"0{width}b"): int(tally)
+        for value, tally in zip(values, tallies)
+    }

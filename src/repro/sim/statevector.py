@@ -18,6 +18,7 @@ import numpy as np
 
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..exceptions import SimulationError
+from .result import NoisyResult
 
 
 def zero_state(num_qubits: int) -> np.ndarray:
@@ -67,6 +68,51 @@ def apply_matrix(
     return moved.reshape(-1)
 
 
+def _sample_from_probs(
+    probs: Dict[str, float], shots: int, rng: np.random.Generator
+) -> Dict[str, int]:
+    """Draw ``shots`` outcomes from a bitstring distribution, vectorized."""
+    outcomes = list(probs.keys())
+    weights = np.array([probs[o] for o in outcomes])
+    weights = weights / weights.sum()
+    draws = rng.choice(len(outcomes), size=shots, p=weights)
+    values, tallies = np.unique(draws, return_counts=True)
+    return {outcomes[int(v)]: int(t) for v, t in zip(values, tallies)}
+
+
+def reduce_to_active_qubits(
+    circuit: QuantumCircuit, extra_qubits: Sequence[int] = ()
+) -> Tuple[QuantumCircuit, Dict[int, int]]:
+    """Restrict a wide circuit to its active qubits (plus ``extra_qubits``).
+
+    Returns the reduced circuit and the map from original qubit index to the
+    compact index used inside the reduced circuit.
+    """
+    active = sorted(circuit.active_qubits() | set(extra_qubits))
+    if not active:
+        active = [0]
+    mapping = {original: compact for compact, original in enumerate(active)}
+    reduced = QuantumCircuit(len(active), circuit.name)
+    for instruction in circuit.instructions:
+        if instruction.name == "barrier":
+            continue
+        reduced.append(
+            instruction.gate,
+            tuple(mapping[q] for q in instruction.qubits),
+            instruction.clbits,
+        )
+    return reduced, mapping
+
+
+def measured_qubits_of(circuit: QuantumCircuit) -> List[int]:
+    """Qubits measured by the circuit, in program order (deduplicated)."""
+    seen: List[int] = []
+    for instruction in circuit.instructions:
+        if instruction.name == "measure" and instruction.qubits[0] not in seen:
+            seen.append(instruction.qubits[0])
+    return seen
+
+
 def apply_instruction(state: np.ndarray, instruction: Instruction, num_qubits: int) -> np.ndarray:
     """Apply a unitary instruction to a statevector (measure/barrier are skipped)."""
     if not instruction.gate.is_unitary:
@@ -77,8 +123,11 @@ def apply_instruction(state: np.ndarray, instruction: Instruction, num_qubits: i
 class StatevectorSimulator:
     """Ideal (noiseless) statevector simulator."""
 
-    def __init__(self, num_qubits_limit: int = 24) -> None:
+    def __init__(self, num_qubits_limit: int = 24, seed: Optional[int] = None) -> None:
         self.num_qubits_limit = num_qubits_limit
+        #: Generator used by :meth:`run_counts`; advances across calls so that
+        #: repeated runs draw independent samples, like the noisy samplers.
+        self.rng = np.random.default_rng(seed)
 
     def run(
         self,
@@ -121,17 +170,40 @@ class StatevectorSimulator:
         initial_state: Optional[np.ndarray] = None,
     ) -> Dict[str, int]:
         """Sample measurement outcomes (noiseless) over the given qubits."""
+        if shots < 1:
+            raise SimulationError("shots must be positive")
         probs = self.probabilities(circuit, qubits, initial_state)
-        rng = np.random.default_rng(seed)
-        outcomes = list(probs.keys())
-        weights = np.array([probs[o] for o in outcomes])
-        weights = weights / weights.sum()
-        draws = rng.choice(len(outcomes), size=shots, p=weights)
-        counts: Dict[str, int] = {}
-        for draw in draws:
-            key = outcomes[int(draw)]
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return _sample_from_probs(probs, shots, np.random.default_rng(seed))
+
+    def run_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        measured_qubits: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> NoisyResult:
+        """Noiseless :class:`~repro.sim.SimulationBackend` entry point.
+
+        Measures the given qubits (the circuit's ``measure`` instructions, or
+        all active qubits, when omitted) and returns hardware-style counts.
+        Like the noisy samplers, the circuit is first restricted to its active
+        qubits, so wide device circuits with few active wires are cheap; a
+        non-``None`` ``seed`` reseeds the generator for that call.
+        """
+        if shots < 1:
+            raise SimulationError("shots must be positive")
+        if measured_qubits is None:
+            measured_qubits = measured_qubits_of(circuit) or sorted(circuit.active_qubits())
+        measured_qubits = list(measured_qubits)
+        reduced, mapping = reduce_to_active_qubits(circuit, measured_qubits)
+        compact_measured = [mapping[q] for q in measured_qubits]
+        if seed is not None:
+            self.rng = np.random.default_rng(seed)
+        probs = self.probabilities(reduced.without(["measure"]), compact_measured)
+        counts = _sample_from_probs(probs, shots, self.rng)
+        return NoisyResult(
+            counts=counts, shots=shots, measured_qubits=tuple(measured_qubits)
+        )
 
 
 def marginal_probabilities(
@@ -142,6 +214,13 @@ def marginal_probabilities(
     if qubits is None:
         qubits = list(range(num_qubits))
     qubits = list(qubits)
+    if len(set(qubits)) != len(qubits):
+        raise SimulationError(f"duplicate qubits in marginal request: {qubits}")
+    out_of_range = [q for q in qubits if not 0 <= q < num_qubits]
+    if out_of_range:
+        raise SimulationError(
+            f"qubits {out_of_range} are out of range for a {num_qubits}-qubit state"
+        )
     result: Dict[str, float] = {}
     tensor = probabilities.reshape((2,) * num_qubits)
     other_axes = tuple(q for q in range(num_qubits) if q not in qubits)

@@ -259,6 +259,28 @@ class TestLegalizationRouter:
         # The recorded final layout composes the extra movement.
         assert properties["final_layout"].physical(0) == 2
 
+    def test_no_placeholder_layout_leaks(self, line_map):
+        # Regression: with no prior layout, the router's temporary full-device
+        # trivial layout must not remain in the property set afterwards.
+        circuit = QuantumCircuit(20)
+        circuit.cx(0, 3)
+        properties = PropertySet()
+        LegalizationRouter(line_map).run(circuit, properties)
+        assert "layout" not in properties
+        assert "initial_layout" not in properties
+
+    def test_prior_layout_is_preserved(self, line_map):
+        circuit = QuantumCircuit(20)
+        circuit.cx(3, 4)
+        properties = PropertySet()
+        prior = Layout({0: 3, 1: 4})
+        properties["layout"] = prior
+        properties["initial_layout"] = prior.copy()
+        properties["final_layout"] = Layout.trivial(20)
+        LegalizationRouter(line_map).run(circuit, properties)
+        assert properties["layout"].to_dict() == prior.to_dict()
+        assert properties["initial_layout"].to_dict() == prior.to_dict()
+
 
 class TestOptimizationPasses:
     def test_swap_decomposition(self):
