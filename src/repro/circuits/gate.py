@@ -83,17 +83,32 @@ class Gate:
     def matrix(self) -> np.ndarray:
         """Return the ``2**n x 2**n`` unitary matrix of this gate.
 
+        Parameter-free gates (``cx``, ``swap``, ``ccx``, ...) return a shared
+        read-only array, built once and interned — decomposition passes and
+        the simulators query these matrices per instruction, so rebuilding
+        them every call dominated tight loops.  Parameterised gates are built
+        on demand (their angle space is unbounded, so caching them would grow
+        without limit).
+
         Raises:
             GateError: If the gate is non-unitary (measure/reset/barrier) or
                 its name is unknown.
         """
+        if not self.params:
+            cached = _MATRIX_CACHE.get(self.name)
+            if cached is not None:
+                return cached
         if not self.is_unitary:
             raise GateError(f"operation {self.name!r} has no unitary matrix")
         try:
             builder = _MATRIX_BUILDERS[self.name]
         except KeyError as exc:
             raise GateError(f"unknown gate name {self.name!r}") from exc
-        return builder(*self.params)
+        built = builder(*self.params)
+        if not self.params:
+            built.setflags(write=False)
+            _MATRIX_CACHE[self.name] = built
+        return built
 
     def inverse(self) -> "Gate":
         """Return the inverse gate.
@@ -134,6 +149,10 @@ class Gate:
             args = ", ".join(f"{p:.6g}" for p in self.params)
             return f"Gate({self.name}({args}), qubits={self.num_qubits})"
         return f"Gate({self.name}, qubits={self.num_qubits})"
+
+
+#: Interned read-only matrices of parameter-free gates, keyed by name.
+_MATRIX_CACHE: Dict[str, np.ndarray] = {}
 
 
 # ----------------------------------------------------------------------

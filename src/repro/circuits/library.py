@@ -7,9 +7,23 @@ create, say, a three-qubit ``cx``.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from .gate import Gate
+
+#: Interned parameter-free gates, keyed by (name, arity).  Gates are frozen
+#: value objects, so the factories below can hand out one shared instance —
+#: which also makes their (interned, read-only) matrices shared.
+_GATE_CACHE: Dict[Tuple[str, int], Gate] = {}
+
+
+def _interned(name: str, num_qubits: int) -> Gate:
+    key = (name, num_qubits)
+    gate = _GATE_CACHE.get(key)
+    if gate is None:
+        gate = Gate(name, num_qubits)
+        _GATE_CACHE[key] = gate
+    return gate
 
 # ----------------------------------------------------------------------
 # One-qubit gates
@@ -18,57 +32,57 @@ from .gate import Gate
 
 def i_gate() -> Gate:
     """Identity gate."""
-    return Gate("id", 1)
+    return _interned("id", 1)
 
 
 def x_gate() -> Gate:
     """Pauli-X (NOT) gate."""
-    return Gate("x", 1)
+    return _interned("x", 1)
 
 
 def y_gate() -> Gate:
     """Pauli-Y gate."""
-    return Gate("y", 1)
+    return _interned("y", 1)
 
 
 def z_gate() -> Gate:
     """Pauli-Z gate."""
-    return Gate("z", 1)
+    return _interned("z", 1)
 
 
 def h_gate() -> Gate:
     """Hadamard gate."""
-    return Gate("h", 1)
+    return _interned("h", 1)
 
 
 def s_gate() -> Gate:
     """Phase gate S = sqrt(Z)."""
-    return Gate("s", 1)
+    return _interned("s", 1)
 
 
 def sdg_gate() -> Gate:
     """Inverse phase gate S†."""
-    return Gate("sdg", 1)
+    return _interned("sdg", 1)
 
 
 def t_gate() -> Gate:
     """T gate = fourth root of Z."""
-    return Gate("t", 1)
+    return _interned("t", 1)
 
 
 def tdg_gate() -> Gate:
     """Inverse T gate T†."""
-    return Gate("tdg", 1)
+    return _interned("tdg", 1)
 
 
 def sx_gate() -> Gate:
     """Square root of X."""
-    return Gate("sx", 1)
+    return _interned("sx", 1)
 
 
 def sxdg_gate() -> Gate:
     """Inverse square root of X."""
-    return Gate("sxdg", 1)
+    return _interned("sxdg", 1)
 
 
 def rx_gate(theta: float) -> Gate:
@@ -113,22 +127,22 @@ def u3_gate(theta: float, phi: float, lam: float) -> Gate:
 
 def cx_gate() -> Gate:
     """Controlled-NOT (control, target)."""
-    return Gate("cx", 2)
+    return _interned("cx", 2)
 
 
 def cz_gate() -> Gate:
     """Controlled-Z."""
-    return Gate("cz", 2)
+    return _interned("cz", 2)
 
 
 def cy_gate() -> Gate:
     """Controlled-Y."""
-    return Gate("cy", 2)
+    return _interned("cy", 2)
 
 
 def ch_gate() -> Gate:
     """Controlled-Hadamard."""
-    return Gate("ch", 2)
+    return _interned("ch", 2)
 
 
 def cp_gate(theta: float) -> Gate:
@@ -148,7 +162,7 @@ def rzz_gate(theta: float) -> Gate:
 
 def swap_gate() -> Gate:
     """SWAP gate (decomposes to 3 CNOTs on hardware)."""
-    return Gate("swap", 2)
+    return _interned("swap", 2)
 
 
 # ----------------------------------------------------------------------
@@ -158,17 +172,17 @@ def swap_gate() -> Gate:
 
 def ccx_gate() -> Gate:
     """Toffoli gate (control, control, target) — the gate Trios routes as a unit."""
-    return Gate("ccx", 3)
+    return _interned("ccx", 3)
 
 
 def ccz_gate() -> Gate:
     """Doubly-controlled Z (symmetric in its three qubits)."""
-    return Gate("ccz", 3)
+    return _interned("ccz", 3)
 
 
 def cswap_gate() -> Gate:
     """Fredkin gate (control, target, target)."""
-    return Gate("cswap", 3)
+    return _interned("cswap", 3)
 
 
 # ----------------------------------------------------------------------
@@ -178,17 +192,17 @@ def cswap_gate() -> Gate:
 
 def measure_op() -> Gate:
     """Computational-basis measurement of one qubit."""
-    return Gate("measure", 1)
+    return _interned("measure", 1)
 
 
 def reset_op() -> Gate:
     """Reset a qubit to |0⟩."""
-    return Gate("reset", 1)
+    return _interned("reset", 1)
 
 
 def barrier_op(num_qubits: int) -> Gate:
     """A scheduling barrier across ``num_qubits`` qubits."""
-    return Gate("barrier", num_qubits)
+    return _interned("barrier", num_qubits)
 
 
 #: The hardware-supported basis used throughout the paper (IBM devices).

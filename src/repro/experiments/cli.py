@@ -64,6 +64,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="success model: analytic (paper) or a sampler")
     benchmarks.add_argument("--shots", type=int, default=2048,
                             help="shots per circuit for sampling backends")
+    benchmarks.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the sweep cells "
+                                 "(default 1 = serial; results are identical)")
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="Figure 12: sensitivity to device error rates"
@@ -78,6 +81,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="success model: analytic (paper) or a sampler")
     sensitivity.add_argument("--shots", type=int, default=2048,
                              help="shots per circuit for sampling backends")
+    sensitivity.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the per-benchmark "
+                                  "curves (default 1 = serial)")
 
     subparsers.add_parser("all", help="Run everything (may take a minute)")
     return parser
@@ -102,8 +108,10 @@ def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure")
           f"(paper: 23%)")
 
 
-def _run_benchmarks(seed: int, backend: str = "analytic", shots: int = 2048) -> None:
-    result = run_benchmark_experiment(seed=seed, backend=backend, shots=shots)
+def _run_benchmarks(seed: int, backend: str = "analytic", shots: int = 2048,
+                    jobs: int = 1) -> None:
+    result = run_benchmark_experiment(seed=seed, backend=backend, shots=shots,
+                                      jobs=jobs)
     print("[Figure 9] Simulated success probabilities\n")
     print(format_benchmark_success(result))
     print("[Figure 10] CNOT reduction\n")
@@ -113,9 +121,9 @@ def _run_benchmarks(seed: int, backend: str = "analytic", shots: int = 2048) -> 
 
 
 def _run_sensitivity(factors: Sequence[float], backend: str = "analytic",
-                     shots: int = 2048) -> None:
+                     shots: int = 2048, jobs: int = 1) -> None:
     result = run_sensitivity_experiment(factors=list(factors), backend=backend,
-                                        shots=shots)
+                                        shots=shots, jobs=jobs)
     print("[Figure 12] p_trios / p_baseline vs error-rate improvement\n")
     print(format_sensitivity(result))
 
@@ -128,9 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "toffoli":
         _run_toffoli(args.triplets, args.shots, args.seed, args.sampler)
     elif args.command == "benchmarks":
-        _run_benchmarks(args.seed, args.backend, args.shots)
+        _run_benchmarks(args.seed, args.backend, args.shots, args.jobs)
     elif args.command == "sensitivity":
-        _run_sensitivity(args.factors, args.backend, args.shots)
+        _run_sensitivity(args.factors, args.backend, args.shots, args.jobs)
     elif args.command == "all":
         _run_table1()
         print("\n")

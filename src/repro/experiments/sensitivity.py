@@ -10,18 +10,23 @@ as in the paper.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..bench_circuits.suite import TOFFOLI_BENCHMARKS, get_benchmark
-from ..compiler.pipeline import compile_baseline, compile_trios
 from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
 from ..hardware.library import johannesburg
 from ..hardware.topology import CouplingMap
-from .benchmarks import ideal_expected_outcome, sampled_success
+from .benchmarks import (
+    compile_benchmark_cached,
+    ideal_expected_outcome,
+    run_experiment_cells,
+    sampled_success,
+)
 
 
 @dataclass
@@ -55,6 +60,53 @@ def default_factors(num_points: int = 9, maximum: float = 100.0) -> List[float]:
     return [float(f) for f in np.logspace(0, np.log10(maximum), num_points)]
 
 
+def _sensitivity_cell(
+    payload,
+) -> "Optional[SensitivityCurve]":
+    """Evaluate one benchmark's whole curve; process-pool entry point."""
+    (benchmark, coupling_map, base_calibration, factors, seed, backend,
+     shots) = payload
+    circuit = get_benchmark(benchmark)
+    # The circuits are compiled once — only the error model changes — and the
+    # compilation is shared with the Figures 9-11 sweep via the compile cache.
+    baseline = compile_benchmark_cached(benchmark, coupling_map, "baseline", seed, circuit)
+    trios = compile_benchmark_cached(benchmark, coupling_map, "trios", seed, circuit)
+    expected = None if backend == "analytic" else ideal_expected_outcome(circuit)
+    ratios: List[float] = []
+    try:
+        for factor in factors:
+            calibration = base_calibration.improved(factor)
+            if backend == "analytic":
+                base_p = baseline.success_probability(calibration)
+                trios_p = trios.success_probability(calibration)
+            else:
+                # Floor at half a shot so a deep circuit that happens to
+                # score zero matches in a finite sample yields a large but
+                # finite ratio instead of poisoning the curve with inf.
+                floor = 1.0 / (2.0 * shots)
+                base_p = max(floor, sampled_success(
+                    baseline, circuit, backend, calibration, shots, seed, expected
+                ))
+                trios_p = max(floor, sampled_success(
+                    trios, circuit, backend, calibration, shots, seed, expected
+                ))
+            if base_p <= 0:
+                ratios.append(float("inf") if trios_p > 0 else 1.0)
+            else:
+                ratios.append(trios_p / base_p)
+    except SimulationError as exc:
+        # The sampling backend cannot simulate this compiled circuit
+        # (e.g. too many active qubits); skip the whole curve.
+        warnings.warn(
+            f"skipping the {benchmark} sensitivity curve: {exc}",
+            RuntimeWarning, stacklevel=2,
+        )
+        return None
+    return SensitivityCurve(
+        benchmark=benchmark, factors=list(factors), ratios=ratios
+    )
+
+
 def run_sensitivity_experiment(
     coupling_map: Optional[CouplingMap] = None,
     base_calibration: Optional[DeviceCalibration] = None,
@@ -63,6 +115,7 @@ def run_sensitivity_experiment(
     seed: int = 11,
     backend: str = "analytic",
     shots: int = 2048,
+    jobs: int = 1,
 ) -> SensitivityResult:
     """Reproduce Figure 12 on the Johannesburg topology.
 
@@ -77,46 +130,25 @@ def run_sensitivity_experiment(
             :class:`~repro.sim.SimulationBackend` name instead re-samples the
             compiled circuits under each scaled calibration.
         shots: Shots per circuit when a sampling backend is selected.
+        jobs: Worker processes for the per-benchmark curves; ``1`` (the
+            default) runs serially.  Results are identical either way.
     """
     coupling_map = coupling_map or johannesburg()
     base_calibration = base_calibration or johannesburg_aug19_2020()
     benchmarks = list(benchmarks or TOFFOLI_BENCHMARKS)
     factors = list(factors or default_factors())
     result = SensitivityResult(device=coupling_map.name, factors=list(factors))
-    for benchmark in benchmarks:
-        circuit = get_benchmark(benchmark)
-        if circuit.num_qubits > coupling_map.num_qubits:
-            continue
-        baseline = compile_baseline(circuit, coupling_map, seed=seed)
-        trios = compile_trios(circuit, coupling_map, seed=seed)
-        expected = None if backend == "analytic" else ideal_expected_outcome(circuit)
-        ratios: List[float] = []
-        try:
-            for factor in factors:
-                calibration = base_calibration.improved(factor)
-                if backend == "analytic":
-                    base_p = baseline.success_probability(calibration)
-                    trios_p = trios.success_probability(calibration)
-                else:
-                    # Floor at half a shot so a deep circuit that happens to
-                    # score zero matches in a finite sample yields a large but
-                    # finite ratio instead of poisoning the curve with inf.
-                    floor = 1.0 / (2.0 * shots)
-                    base_p = max(floor, sampled_success(
-                        baseline, circuit, backend, calibration, shots, seed, expected
-                    ))
-                    trios_p = max(floor, sampled_success(
-                        trios, circuit, backend, calibration, shots, seed, expected
-                    ))
-                if base_p <= 0:
-                    ratios.append(float("inf") if trios_p > 0 else 1.0)
-                else:
-                    ratios.append(trios_p / base_p)
-        except SimulationError:
-            # The sampling backend cannot simulate this compiled circuit
-            # (e.g. too many active qubits); skip the whole curve.
-            continue
-        result.curves[benchmark] = SensitivityCurve(
-            benchmark=benchmark, factors=list(factors), ratios=ratios
-        )
+    fitting = [
+        name for name in benchmarks
+        if get_benchmark(name).num_qubits <= coupling_map.num_qubits
+    ]
+    payloads = [
+        (name, coupling_map, base_calibration, list(factors), seed, backend, shots)
+        for name in fitting
+    ]
+    for name, curve in zip(
+        fitting, run_experiment_cells(payloads, _sensitivity_cell, jobs)
+    ):
+        if curve is not None:
+            result.curves[name] = curve
     return result

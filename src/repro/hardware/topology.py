@@ -4,17 +4,157 @@ A :class:`CouplingMap` is an undirected graph whose nodes are the physical
 qubits of a device and whose edges are the pairs that can execute a two-qubit
 gate directly.  Both the routers and the mapping-aware Toffoli decomposition
 query it for adjacency, shortest paths and triangles.
+
+Shortest-path queries are the routers' hot loop, so the map precomputes and
+caches everything they re-derive:
+
+* a dense numpy all-pairs distance matrix (:meth:`distance_matrix`),
+* per-source shortest-path predecessor DAGs — keyed by the optional
+  noise-aware edge weights and by the avoid-node set — with the number of
+  tied shortest paths counted through the DAG, and
+* deterministic shortest paths, memoized per (source, target, weights, avoid).
+
+:meth:`sample_shortest_path` draws a uniformly random *tied* shortest path by
+walking the predecessor DAG backwards, weighting each predecessor by its tied
+path count.  That is the same uniform-over-tied-paths distribution as
+enumerating every shortest path and picking one at random (the stochastic
+baseline router's policy), but its cost is O(path length) instead of growing
+with the — combinatorially explosive on grids — number of alternatives.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import random
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..exceptions import HardwareError
 
 Edge = Tuple[int, int]
+
+
+class _PredecessorDAG:
+    """Shortest-path predecessor DAG from one source qubit.
+
+    ``dist`` maps each reachable node to its shortest distance from the
+    source, ``preds`` to the list of predecessors that lie on some shortest
+    path, and ``counts`` to the number of distinct tied shortest paths from
+    the source — the weights used for uniform tied-path sampling.
+    """
+
+    __slots__ = ("source", "dist", "preds", "counts")
+
+    def __init__(
+        self,
+        source: int,
+        dist: Dict[int, float],
+        preds: Dict[int, List[int]],
+        order: List[int],
+    ) -> None:
+        self.source = source
+        self.dist = dist
+        self.preds = preds
+        counts: Dict[int, int] = {source: 1}
+        # ``order`` lists nodes by non-decreasing distance, so every
+        # predecessor's count is final before it is summed into a successor.
+        for node in order:
+            if node == source:
+                continue
+            counts[node] = sum(counts[p] for p in preds[node])
+        self.counts = counts
+
+    def sample_path(self, target: int, rng: random.Random) -> List[int]:
+        """A uniformly random tied shortest path from the source to ``target``.
+
+        Walking backwards and picking each predecessor with probability
+        proportional to its tied-path count makes every complete path equally
+        likely (the per-step probabilities telescope to ``1 / counts[target]``).
+        """
+        path = [target]
+        node = target
+        while node != self.source:
+            preds = self.preds[node]
+            if len(preds) == 1:
+                node = preds[0]
+            else:
+                pick = rng.randrange(self.counts[node])
+                for pred in preds:
+                    pick -= self.counts[pred]
+                    if pick < 0:
+                        node = pred
+                        break
+            path.append(node)
+        path.reverse()
+        return path
+
+
+def _bfs_dag(graph: nx.Graph, source: int, blocked: frozenset) -> _PredecessorDAG:
+    """Unweighted shortest-path DAG via breadth-first search."""
+    dist: Dict[int, float] = {source: 0}
+    preds: Dict[int, List[int]] = {source: []}
+    order: List[int] = [source]
+    frontier = [source]
+    depth = 0
+    adj = graph.adj
+    while frontier:
+        depth += 1
+        next_frontier: List[int] = []
+        for node in frontier:
+            for neighbor in adj[node]:
+                if neighbor in blocked:
+                    continue
+                seen = dist.get(neighbor)
+                if seen is None:
+                    dist[neighbor] = depth
+                    preds[neighbor] = [node]
+                    next_frontier.append(neighbor)
+                    order.append(neighbor)
+                elif seen == depth:
+                    preds[neighbor].append(node)
+        frontier = next_frontier
+    return _PredecessorDAG(source, dist, preds, order)
+
+
+def _dijkstra_dag(
+    graph: nx.Graph,
+    source: int,
+    blocked: frozenset,
+    weight: Mapping[Edge, float],
+) -> _PredecessorDAG:
+    """Weighted shortest-path DAG via Dijkstra.
+
+    Ties are detected with exact float equality, matching
+    :func:`networkx.all_shortest_paths`' notion of "tied" so the sampled
+    distribution is over the same path set the enumeration would produce.
+    """
+    dist: Dict[int, float] = {}
+    preds: Dict[int, List[int]] = {source: []}
+    order: List[int] = []
+    seen: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int, int]] = [(0.0, source, source)]
+    adj = graph.adj
+    while heap:
+        node_dist, _, node = heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = node_dist
+        order.append(node)
+        for neighbor in adj[node]:
+            if neighbor in blocked or neighbor in dist:
+                continue
+            edge = (node, neighbor) if node < neighbor else (neighbor, node)
+            candidate = node_dist + weight.get(edge, 1.0)
+            best = seen.get(neighbor)
+            if best is None or candidate < best:
+                seen[neighbor] = candidate
+                preds[neighbor] = [node]
+                heappush(heap, (candidate, neighbor, neighbor))
+            elif candidate == best:
+                preds[neighbor].append(node)
+    return _PredecessorDAG(source, dist, preds, order)
 
 
 class CouplingMap:
@@ -34,7 +174,14 @@ class CouplingMap:
             if not (0 <= a < num_qubits and 0 <= b < num_qubits):
                 raise HardwareError(f"edge ({a}, {b}) out of range for {num_qubits} qubits")
             self.graph.add_edge(a, b)
-        self._distance: Optional[Dict[int, Dict[int, int]]] = None
+        # Lazily-built caches; the graph is immutable after construction, so
+        # they stay valid for the lifetime of the map.
+        self._distance_matrix: Optional[np.ndarray] = None
+        self._dag_cache: Dict[Tuple[int, int, Tuple[int, ...]], _PredecessorDAG] = {}
+        self._path_cache: Dict[
+            Tuple[int, int, int, Tuple[int, ...]], Tuple[int, ...]
+        ] = {}
+        self._weight_tokens: Dict[frozenset, int] = {}
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -86,38 +233,138 @@ class CouplingMap:
     # ------------------------------------------------------------------
     # Distances and paths
     # ------------------------------------------------------------------
-    def _ensure_distances(self) -> Dict[int, Dict[int, int]]:
-        if self._distance is None:
-            self._distance = dict(nx.all_pairs_shortest_path_length(self.graph))
-        return self._distance
+    def distance_matrix(self) -> np.ndarray:
+        """Dense all-pairs unweighted distance matrix (``-1`` = disconnected).
+
+        Computed once and cached; :meth:`distance` and the routers' distance
+        queries are plain array reads afterwards.
+        """
+        if self._distance_matrix is None:
+            matrix = np.full((self.num_qubits, self.num_qubits), -1, dtype=np.int32)
+            for source, lengths in nx.all_pairs_shortest_path_length(self.graph):
+                for target, length in lengths.items():
+                    matrix[source, target] = length
+            matrix.setflags(write=False)
+            self._distance_matrix = matrix
+        return self._distance_matrix
 
     def distance(self, a: int, b: int) -> int:
         """Shortest-path distance (number of edges) between two physical qubits."""
-        distances = self._ensure_distances()
-        try:
-            return int(distances[a][b])
-        except KeyError as exc:
-            raise HardwareError(f"qubits {a} and {b} are not connected") from exc
+        matrix = self.distance_matrix()
+        if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+            raise HardwareError(f"qubits {a} and {b} out of range")
+        value = int(matrix[a, b])
+        if value < 0:
+            raise HardwareError(f"qubits {a} and {b} are not connected")
+        return value
 
-    def shortest_path(self, a: int, b: int, weight: Optional[Dict[Edge, float]] = None) -> List[int]:
+    def _weight_token(self, weight: Optional[Mapping[Edge, float]]) -> int:
+        """A small cache key identifying an edge-weight variant (0 = unweighted)."""
+        if not weight:
+            return 0
+        key = frozenset(weight.items())
+        token = self._weight_tokens.get(key)
+        if token is None:
+            token = len(self._weight_tokens) + 1
+            self._weight_tokens[key] = token
+        return token
+
+    def _predecessor_dag(
+        self,
+        source: int,
+        weight: Optional[Mapping[Edge, float]] = None,
+        avoid: Tuple[int, ...] = (),
+    ) -> _PredecessorDAG:
+        """The cached shortest-path DAG from ``source`` for a weight/avoid variant."""
+        key = (source, self._weight_token(weight), avoid)
+        dag = self._dag_cache.get(key)
+        if dag is None:
+            blocked = frozenset(avoid)
+            if source in blocked:
+                raise HardwareError(f"source qubit {source} is in the avoid set")
+            if weight:
+                dag = _dijkstra_dag(self.graph, source, blocked, weight)
+            else:
+                dag = _bfs_dag(self.graph, source, blocked)
+            self._dag_cache[key] = dag
+        return dag
+
+    def shortest_path(
+        self,
+        a: int,
+        b: int,
+        weight: Optional[Mapping[Edge, float]] = None,
+        avoid: Tuple[int, ...] = (),
+    ) -> List[int]:
         """A shortest path from ``a`` to ``b`` inclusive of both endpoints.
+
+        Deterministic: repeated queries return the same path, which is
+        memoized per (source, target, weights, avoid) so the routers never
+        recompute it.
 
         Args:
             a: Source physical qubit.
             b: Destination physical qubit.
             weight: Optional per-edge weights (e.g. ``-log`` CNOT success rate
                 for noise-aware routing).  Unweighted BFS is used when omitted.
+            avoid: Physical qubits the path must not pass through.
         """
-        try:
-            if weight is None:
-                return list(nx.shortest_path(self.graph, a, b))
-            def edge_weight(u: int, v: int, _attrs: dict) -> float:
-                return weight.get((min(u, v), max(u, v)), 1.0)
-            return list(nx.shortest_path(self.graph, a, b, weight=edge_weight))
-        except nx.NetworkXNoPath as exc:
-            raise HardwareError(f"no path between qubits {a} and {b}") from exc
+        weight = weight or None  # an empty mapping is the unweighted variant
+        key = (a, b, self._weight_token(weight), avoid)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            graph = self.graph
+            if avoid:
+                blocked = set(avoid)
+                graph = graph.subgraph(
+                    [n for n in graph.nodes if n not in blocked]
+                )
+            try:
+                if weight is None:
+                    path = list(nx.shortest_path(graph, a, b))
+                else:
+                    def edge_weight(u: int, v: int, _attrs: dict) -> float:
+                        return weight.get((min(u, v), max(u, v)), 1.0)
+                    path = list(nx.shortest_path(graph, a, b, weight=edge_weight))
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise HardwareError(f"no path between qubits {a} and {b}") from exc
+            cached = tuple(path)
+            self._path_cache[key] = cached
+        return list(cached)
 
-    def path_length(self, a: int, b: int, weight: Optional[Dict[Edge, float]] = None) -> float:
+    def sample_shortest_path(
+        self,
+        a: int,
+        b: int,
+        rng: random.Random,
+        weight: Optional[Mapping[Edge, float]] = None,
+        avoid: Tuple[int, ...] = (),
+    ) -> List[int]:
+        """A uniformly random tied shortest path from ``a`` to ``b``.
+
+        Equivalent in distribution to enumerating every shortest path and
+        picking one uniformly (the stochastic baseline's policy), but runs in
+        O(path length) by sampling through the cached predecessor DAG.
+        """
+        dag = self._predecessor_dag(a, weight or None, avoid)
+        if b not in dag.dist:
+            raise HardwareError(f"no path between qubits {a} and {b}")
+        return dag.sample_path(b, rng)
+
+    def tied_path_count(
+        self,
+        a: int,
+        b: int,
+        weight: Optional[Mapping[Edge, float]] = None,
+        avoid: Tuple[int, ...] = (),
+    ) -> int:
+        """Number of distinct tied shortest paths from ``a`` to ``b``."""
+        dag = self._predecessor_dag(a, weight, avoid)
+        if b not in dag.dist:
+            raise HardwareError(f"no path between qubits {a} and {b}")
+        return dag.counts[b]
+
+    def path_length(self, a: int, b: int, weight: Optional[Mapping[Edge, float]] = None) -> float:
         """Length of the shortest path under the optional edge weights."""
         if weight is None:
             return float(self.distance(a, b))

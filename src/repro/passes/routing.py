@@ -10,18 +10,22 @@ by :class:`~repro.passes.optimization.DecomposeSwapsPass`).
 
 The router optionally takes noise-aware edge weights (``-log`` CNOT success),
 in which case "shortest" means "most reliable" (§4).
+
+Path queries go through :class:`~repro.hardware.topology.CouplingMap`'s cached
+shortest-path machinery: deterministic paths are memoized, and the stochastic
+policy samples a uniformly random tied path from the cached predecessor DAG in
+O(path length) instead of enumerating every shortest path (the frozen original
+enumeration lives in ``benchmarks/_legacy_routing.py`` for comparison).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Mapping, Optional, Tuple
-
-import networkx as nx
+from typing import List, Mapping, Optional, Tuple
 
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..circuits import library
-from ..exceptions import RoutingError
+from ..exceptions import HardwareError, RoutingError
 from ..hardware.topology import CouplingMap
 from .base import BasePass, PropertySet
 from .layout import Layout
@@ -65,30 +69,26 @@ class GreedySwapRouter(BasePass):
     # ------------------------------------------------------------------
     # Helpers shared with the Trios router
     # ------------------------------------------------------------------
-    def _weight_function(self):
-        if self.edge_weights is None:
-            return None
-        return lambda u, v, _d: self.edge_weights.get((min(u, v), max(u, v)), 1.0)
-
     def _shortest_path(self, a: int, b: int, avoid: Tuple[int, ...] = ()) -> List[int]:
         """Shortest path from ``a`` to ``b``, preferring to avoid given nodes."""
         if avoid:
-            graph = self.coupling_map.graph
-            blocked = set(avoid) - {a, b}
-            sub = graph.subgraph([n for n in graph.nodes if n not in blocked])
-            try:
-                return self._pick_path(sub, a, b)
-            except (nx.NetworkXNoPath, nx.NodeNotFound):
-                pass  # avoiding those nodes is impossible; fall back to the full graph
-        return self._pick_path(self.coupling_map.graph, a, b)
+            blocked = tuple(sorted(set(avoid) - {a, b}))
+            if blocked:
+                try:
+                    return self._pick_path(a, b, blocked)
+                except HardwareError:
+                    pass  # avoiding those nodes is impossible; use the full graph
+        return self._pick_path(a, b)
 
-    def _pick_path(self, graph, a: int, b: int) -> List[int]:
+    def _pick_path(self, a: int, b: int, avoid: Tuple[int, ...] = ()) -> List[int]:
         """One shortest path; in stochastic mode a uniformly random tied path."""
-        weight = self._weight_function()
         if not self.stochastic:
-            return list(nx.shortest_path(graph, a, b, weight=weight))
-        paths = list(nx.all_shortest_paths(graph, a, b, weight=weight))
-        return list(self._rng.choice(paths))
+            return self.coupling_map.shortest_path(
+                a, b, weight=self.edge_weights, avoid=avoid
+            )
+        return self.coupling_map.sample_shortest_path(
+            a, b, self._rng, weight=self.edge_weights, avoid=avoid
+        )
 
     def _emit_swap(
         self, out: QuantumCircuit, layout: Layout, physical_a: int, physical_b: int

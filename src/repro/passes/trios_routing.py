@@ -58,7 +58,12 @@ class TriosRouter(GreedySwapRouter):
         return self.coupling_map.path_length(a, b, self.edge_weights)
 
     def _trio_connected(self, positions: Sequence[int]) -> bool:
-        return self.coupling_map.subgraph_is_connected(list(positions))
+        # Three distinct qubits induce a connected subgraph exactly when at
+        # least two of the three pairs are coupled; checking adjacency
+        # directly avoids building a networkx subgraph in the routing loop.
+        a, b, c = positions
+        adjacent = self.coupling_map.are_adjacent
+        return (adjacent(a, b) + adjacent(b, c) + adjacent(a, c)) >= 2
 
     # ------------------------------------------------------------------
     def _route_multi(

@@ -147,8 +147,15 @@ class StatevectorSimulator:
             if state.shape != (2**circuit.num_qubits,):
                 raise SimulationError("initial state has the wrong dimension")
             state = state.copy()
+        num_qubits = circuit.num_qubits
         for instruction in circuit.instructions:
-            state = apply_instruction(state, instruction, circuit.num_qubits)
+            gate = instruction.gate
+            if not gate.is_unitary:
+                continue
+            # ``gate.matrix()`` returns an interned read-only array for
+            # parameter-free gates, so this loop no longer rebuilds the same
+            # CNOT/Toffoli matrices once per instruction.
+            state = apply_matrix(state, gate.matrix(), instruction.qubits, num_qubits)
         return state
 
     def probabilities(
