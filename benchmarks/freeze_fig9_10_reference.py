@@ -1,0 +1,62 @@
+"""Regenerate the frozen Figure 9/10 compiled-circuit hashes.
+
+``tests/data/fig9_10_compiled_sha256.json`` pins a SHA-256 of every compiled
+circuit in the Figures 9-11 sweep (all Table 1 benchmarks x the four paper
+topologies x both pipelines, seed 11) at full float precision.  The
+byte-identity test in ``tests/test_transpile.py`` compares against it, so the
+paper-reproduction numbers provably survive compiler refactors.
+
+Only regenerate this file when a PR *intentionally* changes compiled output
+(e.g. a new default optimisation) — and say so in the PR description::
+
+    PYTHONPATH=src python benchmarks/freeze_fig9_10_reference.py
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench_circuits.suite import PAPER_BENCHMARKS, get_benchmark
+from repro.compiler.pipeline import transpile
+from repro.hardware.library import PAPER_TOPOLOGIES
+
+SEED = 11
+OUTPUT = Path(__file__).resolve().parent.parent / "tests" / "data" / "fig9_10_compiled_sha256.json"
+
+
+def canonical_bytes(circuit) -> str:
+    lines = [f"{circuit.num_qubits}"]
+    for inst in circuit.instructions:
+        params = ",".join(float(p).hex() for p in inst.gate.params)
+        qubits = ",".join(map(str, inst.qubits))
+        clbits = ",".join(map(str, inst.clbits))
+        lines.append(f"{inst.name}({params}) q{qubits} c{clbits}")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    hashes = {}
+    for label, builder in PAPER_TOPOLOGIES.items():
+        coupling_map = builder()
+        for name in PAPER_BENCHMARKS:
+            circuit = get_benchmark(name)
+            if circuit.num_qubits > coupling_map.num_qubits:
+                continue
+            for method in ("baseline", "trios"):
+                result = transpile(circuit, coupling_map, method=method, seed=SEED)
+                digest = hashlib.sha256(
+                    canonical_bytes(result.circuit).encode()
+                ).hexdigest()
+                hashes[f"{label}|{name}|{method}"] = digest
+    OUTPUT.write_text(
+        json.dumps({"seed": SEED, "hashes": hashes}, indent=1, sort_keys=True)
+    )
+    print(f"froze {len(hashes)} compiled-circuit hashes to {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ Quickstart::
 """
 
 from .circuits import QuantumCircuit, Gate, Instruction
-from .compiler import compile_baseline, compile_trios, transpile, CompilationResult
+from .compiler import compile_baseline, compile_trios, transpile, CompilationResult, Target
 from .hardware import (
     CouplingMap,
     johannesburg,
@@ -52,6 +52,7 @@ __all__ = [
     "compile_trios",
     "transpile",
     "CompilationResult",
+    "Target",
     "CouplingMap",
     "johannesburg",
     "grid",

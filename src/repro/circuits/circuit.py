@@ -54,6 +54,30 @@ class Instruction:
         return f"Instruction({self.gate!r}, qubits={self.qubits})"
 
 
+def interaction_graph(
+    instructions: Iterable[Instruction], toffoli_weight: int = 1
+) -> Dict[Tuple[int, int], int]:
+    """Weighted interaction graph over qubit pairs (shared by circuit and DAG).
+
+    Multi-qubit unitaries contribute to every pair among their qubits; pairs of
+    a three-or-more-qubit gate are weighted by ``toffoli_weight`` (the paper's
+    mapper treats a Toffoli as 6 CNOTs, i.e. 2 per pair).
+    """
+    weights: Dict[Tuple[int, int], int] = {}
+    for instruction in instructions:
+        if not instruction.gate.is_unitary:
+            continue
+        qubits = instruction.qubits
+        if len(qubits) < 2:
+            continue
+        weight = toffoli_weight if len(qubits) >= 3 else 1
+        for i in range(len(qubits)):
+            for j in range(i + 1, len(qubits)):
+                key = (min(qubits[i], qubits[j]), max(qubits[i], qubits[j]))
+                weights[key] = weights.get(key, 0) + weight
+    return weights
+
+
 class QuantumCircuit:
     """An ordered sequence of quantum instructions on ``num_qubits`` qubits."""
 
@@ -63,6 +87,10 @@ class QuantumCircuit:
         self.num_qubits = int(num_qubits)
         self.name = name or "circuit"
         self.instructions: List[Instruction] = []
+        # Memoized metrics (depth, count_ops) and the shared dependency DAG,
+        # invalidated whenever an instruction is appended.  All mutation goes
+        # through :meth:`append`, so clearing there keeps the cache honest.
+        self._cache: Dict[object, object] = {}
 
     # ------------------------------------------------------------------
     # Basic container behaviour
@@ -88,6 +116,17 @@ class QuantumCircuit:
         )
 
     # ------------------------------------------------------------------
+    # Pickling / copying
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        # The cached DagCircuit is a deep doubly-linked node chain; pickling
+        # it recurses past the interpreter limit on large circuits.  Every
+        # cache entry is recomputable, so drop the cache instead.
+        state = dict(self.__dict__)
+        state["_cache"] = {}
+        return state
+
+    # ------------------------------------------------------------------
     # Building
     # ------------------------------------------------------------------
     def append(
@@ -104,6 +143,8 @@ class QuantumCircuit:
                     f"qubit {qubit} out of range for a {self.num_qubits}-qubit circuit"
                 )
         self.instructions.append(instruction)
+        if self._cache:
+            self._cache.clear()
         return self
 
     def append_instruction(self, instruction: Instruction) -> "QuantumCircuit":
@@ -205,12 +246,32 @@ class QuantumCircuit:
     # ------------------------------------------------------------------
     # Queries and metrics
     # ------------------------------------------------------------------
+    def dag(self) -> "DagCircuit":
+        """The circuit's dependency DAG, built once and shared (frozen).
+
+        The depth metric, the drawer, the scheduler and the success estimator
+        all consume this view instead of rebuilding a graph per call.  The
+        cached DAG is frozen (read-only); passes that rewrite the circuit use
+        ``DagCircuit.from_circuit`` for a private mutable copy.  Appending to
+        the circuit invalidates the cache.
+        """
+        cached = self._cache.get("dag")
+        if cached is None:
+            from .dag import DagCircuit
+
+            cached = DagCircuit.from_circuit(self).freeze()
+            self._cache["dag"] = cached
+        return cached
+
     def count_ops(self) -> Dict[str, int]:
-        """Histogram of gate names."""
-        counts: Dict[str, int] = {}
-        for instruction in self.instructions:
-            counts[instruction.name] = counts.get(instruction.name, 0) + 1
-        return counts
+        """Histogram of gate names (memoized; invalidated on append)."""
+        cached = self._cache.get("count_ops")
+        if cached is None:
+            cached = {}
+            for instruction in self.instructions:
+                cached[instruction.name] = cached.get(instruction.name, 0) + 1
+            self._cache["count_ops"] = cached
+        return dict(cached)
 
     def num_clbits(self) -> int:
         """Number of classical bits implied by the measure instructions."""
@@ -251,18 +312,26 @@ class QuantumCircuit:
         return active
 
     def depth(self, ignore: Tuple[str, ...] = ("barrier",)) -> int:
-        """Circuit depth: the longest chain of dependent instructions."""
-        level: Dict[int, int] = {}
-        depth = 0
-        for instruction in self.instructions:
-            if instruction.name in ignore:
-                continue
-            start = max((level.get(q, 0) for q in instruction.qubits), default=0)
-            end = start + 1
-            for qubit in instruction.qubits:
-                level[qubit] = end
-            depth = max(depth, end)
-        return depth
+        """Circuit depth: the longest chain of dependent instructions.
+
+        Memoized per ``ignore`` tuple and invalidated when an instruction is
+        appended, so hot metric loops stop re-deriving it.
+        """
+        key = ("depth", ignore)
+        cached = self._cache.get(key)
+        if cached is None:
+            level: Dict[int, int] = {}
+            cached = 0
+            for instruction in self.instructions:
+                if instruction.name in ignore:
+                    continue
+                start = max((level.get(q, 0) for q in instruction.qubits), default=0)
+                end = start + 1
+                for qubit in instruction.qubits:
+                    level[qubit] = end
+                cached = max(cached, end)
+            self._cache[key] = cached
+        return cached
 
     def interactions(self, toffoli_weight: int = 1) -> Dict[Tuple[int, int], int]:
         """Weighted interaction graph over qubit pairs.
@@ -272,19 +341,7 @@ class QuantumCircuit:
         weighted accordingly (the paper's mapper treats a Toffoli as 6 CNOTs,
         i.e. 2 per pair).
         """
-        weights: Dict[Tuple[int, int], int] = {}
-        for instruction in self.instructions:
-            if not instruction.gate.is_unitary:
-                continue
-            qubits = instruction.qubits
-            if len(qubits) < 2:
-                continue
-            weight = toffoli_weight if len(qubits) >= 3 else 1
-            for i in range(len(qubits)):
-                for j in range(i + 1, len(qubits)):
-                    key = (min(qubits[i], qubits[j]), max(qubits[i], qubits[j]))
-                    weights[key] = weights.get(key, 0) + weight
-        return weights
+        return interaction_graph(self.instructions, toffoli_weight)
 
     # ------------------------------------------------------------------
     # Transformations

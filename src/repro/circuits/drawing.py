@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from .circuit import Instruction, QuantumCircuit
-from .dag import CircuitDag
 
 #: Maximum number of columns rendered before the drawing is elided.
 _DEFAULT_MAX_COLUMNS = 120
@@ -56,7 +55,9 @@ def draw(circuit: QuantumCircuit, max_columns: Optional[int] = None) -> str:
             are truncated with an ellipsis.  Defaults to 120.
     """
     max_columns = max_columns or _DEFAULT_MAX_COLUMNS
-    layers = CircuitDag(circuit).layers(ignore=())
+    # Layers come from the circuit's shared, memoized DAG — drawing the same
+    # circuit repeatedly (or after computing its depth) reuses one graph.
+    layers = circuit.dag().layers(ignore=())
     truncated = False
     if len(layers) > max_columns:
         layers = layers[:max_columns]

@@ -1,9 +1,21 @@
 """End-to-end compilation pipelines (baseline and Orchestrated Trios)."""
 
-from .pipeline import compile_baseline, compile_trios, transpile
+from .pipeline import (
+    PIPELINES,
+    STAGE_BUILDERS,
+    build_pass_manager,
+    compile_baseline,
+    compile_trios,
+    transpile,
+)
+from ..hardware.target import Target
 from .result import CompilationResult, gate_reduction, check_connectivity
 
 __all__ = [
+    "PIPELINES",
+    "STAGE_BUILDERS",
+    "build_pass_manager",
+    "Target",
     "compile_baseline",
     "compile_trios",
     "transpile",

@@ -1,26 +1,39 @@
-"""The two end-to-end compilation pipelines compared in the paper.
+"""The unified compilation driver: ``transpile(circuit, target, ...)``.
 
-:func:`compile_baseline` is the conventional flow of Figure 2a (the paper's
-"Qiskit" baseline): fully decompose to one- and two-qubit gates, place, route
-pairs, optimise lightly.
+Both of the paper's flows are expressed as *named stage lists* over the DAG
+IR (:data:`PIPELINES`):
 
-:func:`compile_trios` is the Orchestrated Trios flow of Figure 2b: decompose
-everything *except* Toffolis, place, route Toffolis as three-qubit units, then
-run the mapping-aware second decomposition, and finally the same light
-optimisation.
+* ``"baseline"`` — the conventional flow of Figure 2a (the paper's "Qiskit"
+  baseline): fully decompose to one- and two-qubit gates, place, route pairs,
+  optimise lightly.
+* ``"trios"`` — the Orchestrated Trios flow of Figure 2b: decompose everything
+  *except* Toffolis, place, route Toffolis as three-qubit units, run the
+  mapping-aware second decomposition, legalise, then the same light
+  optimisation.
 
-Both return a :class:`~repro.compiler.result.CompilationResult`.
+Each stage name maps to a builder (:data:`STAGE_BUILDERS`) that instantiates
+the stage's passes for a given :class:`~repro.hardware.target.Target` and
+option set, so new pipelines are a new name list away.  The optimisation stage
+wraps the clean-up passes in a :class:`~repro.passes.base.FixedPoint` loop
+that iterates cancellation/consolidation to convergence.
+
+:func:`compile_baseline` and :func:`compile_trios` remain as thin shims over
+:func:`transpile` for the experiment harnesses and historical callers; their
+outputs are byte-identical to the pre-DAG pipelines (the equivalence tests
+pin this against frozen hashes).
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import TranspilerError
 from ..hardware.calibration import DeviceCalibration
+from ..hardware.target import Target
 from ..hardware.topology import CouplingMap
-from ..passes.base import BasePass, PassManager, PropertySet
+from ..passes.base import BasePass, FixedPoint, PassManager, PropertySet, Stage
 from ..passes.decompose import DecomposeToBasisPass
 from ..passes.layout import (
     FixedLayoutPass,
@@ -68,46 +81,322 @@ def _layout_pass(
     raise TranspilerError(f"unknown layout specification {layout!r}")
 
 
-def _optimization_passes(optimize: bool) -> list:
-    if not optimize:
-        return [DecomposeSwapsPass()]
-    return [
-        DecomposeSwapsPass(),
-        CancelAdjacentInversesPass(),
-        Consolidate1qRunsPass(),
-        RemoveIdentitiesPass(),
-    ]
+# ----------------------------------------------------------------------
+# Stage builders
+# ----------------------------------------------------------------------
+@dataclass
+class _TranspileContext:
+    """Everything a stage builder may need, resolved once per transpile call."""
+
+    target: Target
+    layout: LayoutSpec
+    optimization_level: int
+    seed: Optional[int]
+    routing: str
+    toffoli_mode: str
+    second_decomposition: str
+    overlap_optimization: bool
+    edge_weights: Optional[Mapping[Tuple[int, int], float]]
+
+
+def _cleanup_loop() -> FixedPoint:
+    """The convergent light-optimisation loop shared by every pipeline."""
+    return FixedPoint(
+        [
+            CancelAdjacentInversesPass(),
+            Consolidate1qRunsPass(),
+            RemoveIdentitiesPass(),
+        ]
+    )
+
+
+def _stage_unroll(ctx: _TranspileContext) -> Stage:
+    return Stage(
+        "decompose",
+        [
+            DecomposeToBasisPass(
+                basis=ctx.target.basis_gates, keep=(), toffoli_mode=ctx.toffoli_mode
+            )
+        ],
+    )
+
+
+def _stage_unroll_keep_toffoli(ctx: _TranspileContext) -> Stage:
+    return Stage(
+        "decompose",
+        [DecomposeToBasisPass(basis=ctx.target.basis_gates, keep=("ccx", "ccz"))],
+    )
+
+
+def _stage_pre_optimize(ctx: _TranspileContext) -> Optional[Stage]:
+    # Level 2+: clean the decomposed program *before* placement/routing too,
+    # so routing never pays for gates the clean-up would have removed.
+    if ctx.optimization_level < 2:
+        return None
+    return Stage("pre_optimize", [_cleanup_loop()])
+
+
+def _stage_layout(ctx: _TranspileContext) -> Stage:
+    return Stage(
+        "layout",
+        [_layout_pass(ctx.layout, ctx.target.coupling_map, ctx.target.calibration)],
+    )
+
+
+def _stage_route_pairs(ctx: _TranspileContext) -> Stage:
+    return Stage(
+        "routing",
+        [
+            GreedySwapRouter(
+                ctx.target.coupling_map,
+                edge_weights=ctx.edge_weights,
+                stochastic=(ctx.routing == "stochastic"),
+                seed=ctx.seed,
+            )
+        ],
+    )
+
+
+def _stage_route_trios(ctx: _TranspileContext) -> Stage:
+    return Stage(
+        "routing",
+        [
+            TriosRouter(
+                ctx.target.coupling_map,
+                edge_weights=ctx.edge_weights,
+                overlap_optimization=ctx.overlap_optimization,
+                stochastic=(ctx.routing == "stochastic"),
+                seed=ctx.seed,
+            )
+        ],
+    )
+
+
+def _stage_second_decompose(ctx: _TranspileContext) -> Stage:
+    if ctx.second_decomposition == "mapping_aware":
+        second: BasePass = MappingAwareToffoliDecomposePass(ctx.target.coupling_map)
+    else:
+        second = ToffoliDecomposePass(mode=ctx.second_decomposition)
+    return Stage("second_decompose", [second])
+
+
+def _stage_legalize(ctx: _TranspileContext) -> Stage:
+    # After a fixed-mode second decomposition some CNOTs may be between
+    # non-coupled qubits; the legalisation router fixes them.  For the
+    # mapping-aware decomposition it inserts zero SWAPs.
+    return Stage(
+        "legalize",
+        [LegalizationRouter(ctx.target.coupling_map, edge_weights=ctx.edge_weights)],
+    )
+
+
+def _stage_optimize(ctx: _TranspileContext) -> Stage:
+    passes: List[BasePass] = [DecomposeSwapsPass()]
+    if ctx.optimization_level >= 1:
+        passes.append(_cleanup_loop())
+    return Stage("optimize", passes)
+
+
+#: Stage-name → builder registry.  Builders may return ``None`` to skip a
+#: stage for the current options (e.g. ``pre_optimize`` below level 2).
+STAGE_BUILDERS: Dict[str, Callable[[_TranspileContext], Optional[Stage]]] = {
+    "unroll": _stage_unroll,
+    "unroll_keep_toffoli": _stage_unroll_keep_toffoli,
+    "pre_optimize": _stage_pre_optimize,
+    "layout": _stage_layout,
+    "route_pairs": _stage_route_pairs,
+    "route_trios": _stage_route_trios,
+    "second_decompose": _stage_second_decompose,
+    "legalize": _stage_legalize,
+    "optimize": _stage_optimize,
+}
+
+#: The two paper flows as declarative stage-name lists (Figure 2a / 2b).
+PIPELINES: Dict[str, Tuple[str, ...]] = {
+    "baseline": ("unroll", "pre_optimize", "layout", "route_pairs", "optimize"),
+    "trios": (
+        "unroll_keep_toffoli",
+        "pre_optimize",  # no-op below level 2
+        "layout",
+        "route_trios",
+        "second_decompose",
+        "legalize",
+        "optimize",
+    ),
+}
+
+
+def build_pass_manager(method: str, ctx: _TranspileContext) -> PassManager:
+    """Assemble the :class:`PassManager` for one named pipeline."""
+    try:
+        stage_names = PIPELINES[method]
+    except KeyError as exc:
+        raise TranspilerError(f"unknown compilation method {method!r}") from exc
+    manager = PassManager()
+    for stage_name in stage_names:
+        stage = STAGE_BUILDERS[stage_name](ctx)
+        if stage is not None:
+            manager.append(stage)
+    return manager
+
+
+# ----------------------------------------------------------------------
+# The unified entry point
+# ----------------------------------------------------------------------
+def transpile(
+    circuit: QuantumCircuit,
+    target: Union[Target, CouplingMap],
+    method: str = "trios",
+    *,
+    layout: LayoutSpec = "greedy",
+    optimization_level: Optional[int] = None,
+    seed: Optional[int] = 2021,
+    routing: str = "stochastic",
+    noise_aware: bool = False,
+    toffoli_mode: Optional[str] = None,
+    second_decomposition: Optional[str] = None,
+    overlap_optimization: Optional[bool] = None,
+    calibration: Optional[DeviceCalibration] = None,
+    optimize: Optional[bool] = None,
+    validate: bool = True,
+) -> CompilationResult:
+    """Compile ``circuit`` for ``target`` with a named pipeline.
+
+    Args:
+        circuit: The logical input program.
+        target: A :class:`~repro.hardware.target.Target`, or a bare
+            :class:`CouplingMap` (promoted to an uncalibrated target).
+        method: Pipeline name — ``"trios"`` (Figure 2b) or ``"baseline"``
+            (Figure 2a); see :data:`PIPELINES`.
+        layout: Placement strategy (``"trivial"``/``"greedy"``/``"noise"``),
+            an explicit :class:`Layout`, or a logical→physical mapping dict.
+        optimization_level: ``0`` only expands routing SWAPs; ``1`` (default)
+            additionally iterates the light clean-up passes (CNOT
+            cancellation, 1q consolidation, identity removal) to a fixed
+            point after routing; ``2`` also runs the same loop on the
+            decomposed program *before* placement.
+        seed: RNG seed for the stochastic routing policy.
+        routing: ``"stochastic"`` models Qiskit 0.14's stochastic swap policy
+            (the paper's baseline); ``"greedy"`` is deterministic
+            shortest-path routing.
+        noise_aware: Use ``-log`` CNOT-success edge weights when routing
+            (requires a calibrated target).
+        toffoli_mode: Up-front Toffoli decomposition for the baseline flow —
+            ``"6cnot"`` (Qiskit's default, also the default here) or
+            ``"8cnot"``.  Rejected when the selected pipeline has no
+            ``unroll`` stage (e.g. ``method="trios"``).
+        second_decomposition: Trios' post-routing decomposition —
+            ``"mapping_aware"`` (the paper's contribution, the default),
+            ``"6cnot"`` or ``"8cnot"`` for the ablations.  Rejected when the
+            selected pipeline has no ``second_decompose`` stage.
+        overlap_optimization: Trios' "ending points overlap" SWAP saving
+            (default on).  Rejected when the selected pipeline has no
+            ``route_trios`` stage.
+        calibration: Convenience: folded into an uncalibrated target.
+        optimize: Legacy boolean; maps to optimization level 1 (True) / 0
+            (False) when ``optimization_level`` is not given.
+        validate: Verify the result respects the coupling map.
+
+    Returns:
+        A :class:`CompilationResult` carrying the compiled circuit, the
+        target, the layouts, and per-pass telemetry (``pass_timings``).
+    """
+    resolved = Target.of(target, calibration)
+    if optimization_level is None:
+        optimization_level = 1 if (optimize is None or optimize) else 0
+    elif optimize is not None:
+        raise TranspilerError("pass either optimization_level or optimize, not both")
+    if not 0 <= optimization_level <= 2:
+        raise TranspilerError(f"invalid optimization_level {optimization_level}")
+    if routing not in ("stochastic", "greedy"):
+        raise TranspilerError(f"unknown routing policy {routing!r}")
+    try:
+        stage_names = PIPELINES[method]
+    except KeyError as exc:
+        raise TranspilerError(f"unknown compilation method {method!r}") from exc
+    # Reject options the selected pipeline would silently ignore — an ablation
+    # run passing e.g. second_decomposition to the baseline flow is a bug.
+    for option, value, consumer in (
+        ("toffoli_mode", toffoli_mode, "unroll"),
+        ("second_decomposition", second_decomposition, "second_decompose"),
+        ("overlap_optimization", overlap_optimization, "route_trios"),
+    ):
+        if value is not None and consumer not in stage_names:
+            raise TranspilerError(
+                f"{option}={value!r} has no effect: pipeline {method!r} has "
+                f"no {consumer!r} stage"
+            )
+    toffoli_mode = toffoli_mode if toffoli_mode is not None else "6cnot"
+    if second_decomposition is None:
+        second_decomposition = "mapping_aware"
+    if overlap_optimization is None:
+        overlap_optimization = True
+    if toffoli_mode not in ("6cnot", "8cnot"):
+        raise TranspilerError(f"unknown toffoli_mode {toffoli_mode!r}")
+    if second_decomposition not in ("mapping_aware", "6cnot", "8cnot"):
+        raise TranspilerError(
+            f"unknown second_decomposition {second_decomposition!r}"
+        )
+    edge_weights = None
+    if noise_aware:
+        if resolved.calibration is None:
+            raise TranspilerError("noise-aware routing requires a calibration")
+        edge_weights = resolved.noise_edge_weights()
+    ctx = _TranspileContext(
+        target=resolved,
+        layout=layout,
+        optimization_level=optimization_level,
+        seed=seed,
+        routing=routing,
+        toffoli_mode=toffoli_mode,
+        second_decomposition=second_decomposition,
+        overlap_optimization=overlap_optimization,
+        edge_weights=edge_weights,
+    )
+    manager = build_pass_manager(method, ctx)
+    compiled, properties = manager.run(circuit)
+    if method == "baseline":
+        method_label = f"baseline-{toffoli_mode}"
+    else:
+        method_label = f"{method}-{second_decomposition}"
+    return _finish(
+        compiled, properties, resolved, method_label, circuit.name, validate
+    )
 
 
 def _finish(
     circuit: QuantumCircuit,
     properties: PropertySet,
-    coupling_map: CouplingMap,
+    target: Target,
     method: str,
     source_name: str,
     validate: bool,
 ) -> CompilationResult:
     if validate:
-        violations = check_connectivity(circuit, coupling_map)
+        violations = check_connectivity(circuit, target.coupling_map)
         if violations:
             raise TranspilerError(
                 f"compiled circuit violates the coupling map: {violations[:3]}"
             )
     return CompilationResult(
         circuit=circuit,
-        coupling_map=coupling_map,
+        coupling_map=target.coupling_map,
         method=method,
         initial_layout=properties["initial_layout"],
         final_layout=properties["final_layout"],
         swaps_inserted=properties.get("swaps_inserted", 0),
         source_name=source_name,
         properties=properties,
+        target=target,
     )
 
 
+# ----------------------------------------------------------------------
+# Legacy shims (the historical two-function API)
+# ----------------------------------------------------------------------
 def compile_baseline(
     circuit: QuantumCircuit,
-    coupling_map: CouplingMap,
+    coupling_map: Union[Target, CouplingMap],
     *,
     toffoli_mode: str = "6cnot",
     layout: LayoutSpec = "greedy",
@@ -118,50 +407,25 @@ def compile_baseline(
     optimize: bool = True,
     validate: bool = True,
 ) -> CompilationResult:
-    """Conventional compilation (Figure 2a): decompose everything, then route pairs.
-
-    Args:
-        circuit: The logical input program.
-        coupling_map: Target device connectivity.
-        toffoli_mode: Toffoli decomposition used up front — ``"6cnot"`` (the
-            Qiskit default of Figures 6/7) or ``"8cnot"``.
-        layout: Placement strategy or explicit initial layout.
-        calibration: Device calibration; required for noise-aware modes.
-        noise_aware: Use ``-log`` CNOT-success edge weights when routing.
-        routing: ``"stochastic"`` models Qiskit 0.14's stochastic swap policy
-            (the paper's baseline); ``"greedy"`` is a deterministic
-            shortest-path router (a stronger baseline, useful for ablations).
-        seed: RNG seed for the stochastic routing policy.
-        optimize: Apply the light clean-up passes (CNOT cancellation, 1q
-            consolidation) after routing.
-        validate: Verify the result respects the coupling map.
-    """
-    if routing not in ("stochastic", "greedy"):
-        raise TranspilerError(f"unknown routing policy {routing!r}")
-    edge_weights = None
-    if noise_aware:
-        if calibration is None:
-            raise TranspilerError("noise-aware routing requires a calibration")
-        edge_weights = calibration.edge_weight_neg_log_success(coupling_map)
-    passes = [
-        DecomposeToBasisPass(keep=(), toffoli_mode=toffoli_mode),
-        _layout_pass(layout, coupling_map, calibration),
-        GreedySwapRouter(
-            coupling_map,
-            edge_weights=edge_weights,
-            stochastic=(routing == "stochastic"),
-            seed=seed,
-        ),
-        *_optimization_passes(optimize),
-    ]
-    compiled, properties = PassManager(passes).run(circuit)
-    method = f"baseline-{toffoli_mode}"
-    return _finish(compiled, properties, coupling_map, method, circuit.name, validate)
+    """Conventional compilation (Figure 2a) — shim over :func:`transpile`."""
+    return transpile(
+        circuit,
+        coupling_map,
+        method="baseline",
+        toffoli_mode=toffoli_mode,
+        layout=layout,
+        calibration=calibration,
+        noise_aware=noise_aware,
+        routing=routing,
+        seed=seed,
+        optimize=optimize,
+        validate=validate,
+    )
 
 
 def compile_trios(
     circuit: QuantumCircuit,
-    coupling_map: CouplingMap,
+    coupling_map: Union[Target, CouplingMap],
     *,
     second_decomposition: str = "mapping_aware",
     layout: LayoutSpec = "greedy",
@@ -173,77 +437,18 @@ def compile_trios(
     optimize: bool = True,
     validate: bool = True,
 ) -> CompilationResult:
-    """Orchestrated Trios compilation (Figure 2b).
-
-    Args:
-        circuit: The logical input program.
-        coupling_map: Target device connectivity.
-        second_decomposition: ``"mapping_aware"`` (the Trios contribution:
-            6-CNOT on triangles, 8-CNOT on lines), or a fixed ``"6cnot"`` /
-            ``"8cnot"`` for the ablation configurations of Figures 6/7.
-        layout: Placement strategy or explicit initial layout.
-        calibration: Device calibration; required for noise-aware modes.
-        noise_aware: Use ``-log`` CNOT-success edge weights when routing.
-        overlap_optimization: Stop the second routed qubit early when the trio
-            already forms a connected line (the paper's SWAP-saving check).
-        routing: Policy for one- and two-qubit gates — Trios reuses the same
-            underlying router as the baseline (§4), so this defaults to the
-            same ``"stochastic"`` policy; Toffoli-free circuits then compile
-            identically under both pipelines, as the paper requires.
-        seed: RNG seed for the stochastic routing policy.
-        optimize: Apply the light clean-up passes after decomposition.
-        validate: Verify the result respects the coupling map.
-    """
-    if second_decomposition not in ("mapping_aware", "6cnot", "8cnot"):
-        raise TranspilerError(
-            f"unknown second_decomposition {second_decomposition!r}"
-        )
-    if routing not in ("stochastic", "greedy"):
-        raise TranspilerError(f"unknown routing policy {routing!r}")
-    edge_weights = None
-    if noise_aware:
-        if calibration is None:
-            raise TranspilerError("noise-aware routing requires a calibration")
-        edge_weights = calibration.edge_weight_neg_log_success(coupling_map)
-    if second_decomposition == "mapping_aware":
-        second_pass: BasePass = MappingAwareToffoliDecomposePass(coupling_map)
-    else:
-        second_pass = ToffoliDecomposePass(mode=second_decomposition)
-    passes = [
-        DecomposeToBasisPass(keep=("ccx", "ccz")),
-        _layout_pass(layout, coupling_map, calibration),
-        TriosRouter(
-            coupling_map,
-            edge_weights=edge_weights,
-            overlap_optimization=overlap_optimization,
-            stochastic=(routing == "stochastic"),
-            seed=seed,
-        ),
-        second_pass,
-        # After a fixed-mode second decomposition some CNOTs may be between
-        # non-coupled qubits; the legalisation router fixes them.  For the
-        # mapping-aware decomposition it inserts zero SWAPs.
-        LegalizationRouter(coupling_map, edge_weights=edge_weights),
-        *_optimization_passes(optimize),
-    ]
-    compiled, properties = PassManager(passes).run(circuit)
-    method = f"trios-{second_decomposition}"
-    return _finish(compiled, properties, coupling_map, method, circuit.name, validate)
-
-
-def transpile(
-    circuit: QuantumCircuit,
-    coupling_map: CouplingMap,
-    method: str = "trios",
-    **options,
-) -> CompilationResult:
-    """Compile with either pipeline, selected by ``method``.
-
-    ``method`` is ``"trios"`` or ``"baseline"``; all keyword options are passed
-    through to :func:`compile_trios` / :func:`compile_baseline`.
-    """
-    if method == "trios":
-        return compile_trios(circuit, coupling_map, **options)
-    if method == "baseline":
-        return compile_baseline(circuit, coupling_map, **options)
-    raise TranspilerError(f"unknown compilation method {method!r}")
+    """Orchestrated Trios compilation (Figure 2b) — shim over :func:`transpile`."""
+    return transpile(
+        circuit,
+        coupling_map,
+        method="trios",
+        second_decomposition=second_decomposition,
+        layout=layout,
+        calibration=calibration,
+        noise_aware=noise_aware,
+        overlap_optimization=overlap_optimization,
+        routing=routing,
+        seed=seed,
+        optimize=optimize,
+        validate=validate,
+    )

@@ -1,19 +1,22 @@
 """Compilation results and the metrics the paper reports.
 
 A :class:`CompilationResult` bundles the final hardware-basis circuit with the
-layouts and bookkeeping produced by the pass pipeline, and exposes the metrics
-used throughout the evaluation: two-qubit gate count (§2.5), depth, scheduled
+:class:`~repro.hardware.target.Target` it was compiled for, the layouts and
+bookkeeping produced by the pass pipeline — including per-pass telemetry
+(:attr:`CompilationResult.pass_timings`) — and exposes the metrics used
+throughout the evaluation: two-qubit gate count (§2.5), depth, scheduled
 duration and the analytic success-probability estimate (§2.6).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import TranspilerError
 from ..hardware.calibration import DeviceCalibration
+from ..hardware.target import Target
 from ..hardware.topology import CouplingMap
 from ..passes.base import PropertySet
 from ..passes.layout import Layout
@@ -33,6 +36,12 @@ class CompilationResult:
     swaps_inserted: int
     source_name: str = ""
     properties: PropertySet = field(default_factory=PropertySet)
+    target: Optional[Target] = None
+    # Barrier-free view of the circuit, memoized by _bare_circuit() (kept out
+    # of `properties`, which is the pass pipeline's data and gets serialised).
+    _bare: Optional[QuantumCircuit] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Gate metrics
@@ -57,25 +66,67 @@ class CompilationResult:
         return self.circuit.depth()
 
     # ------------------------------------------------------------------
+    # Pass telemetry
+    # ------------------------------------------------------------------
+    @property
+    def pass_timings(self) -> List[Dict[str, object]]:
+        """Per-pass telemetry recorded by the pass manager.
+
+        One record per executed pass (fixed-point loops contribute one record
+        per pass per sweep): ``{"pass", "stage", "seconds", "size_before",
+        "size_after"}``.  This is the data behind the CLI's
+        ``--profile-passes`` table.
+        """
+        return list(self.properties.get("pass_timings", []))
+
+    # ------------------------------------------------------------------
     # Time / noise metrics
     # ------------------------------------------------------------------
-    def duration(self, calibration: DeviceCalibration) -> float:
-        """ASAP-scheduled makespan in microseconds."""
-        return asap_schedule(self.circuit.without(["barrier"]), calibration).duration
+    def _bare_circuit(self) -> QuantumCircuit:
+        """The compiled circuit without barriers, built once and cached.
+
+        Duration and success queries both schedule this circuit, and its
+        memoized DAG (``QuantumCircuit.dag``) is shared between them.
+        """
+        if self._bare is None:
+            self._bare = self.circuit.without(["barrier"])
+        return self._bare
+
+    def duration(self, calibration: Optional[DeviceCalibration] = None) -> float:
+        """ASAP-scheduled makespan in microseconds.
+
+        ``calibration`` defaults to the target's calibration when present.
+        """
+        return asap_schedule(self._bare_circuit(), self._calibration(calibration)).duration
 
     def success_estimate(
-        self, calibration: DeviceCalibration, include_readout: bool = True
+        self,
+        calibration: Optional[DeviceCalibration] = None,
+        include_readout: bool = True,
     ) -> SuccessEstimate:
         """The paper's analytic success-probability estimate for this circuit."""
         return estimate_success(
-            self.circuit.without(["barrier"]), calibration, include_readout=include_readout
+            self._bare_circuit(),
+            self._calibration(calibration),
+            include_readout=include_readout,
         )
 
     def success_probability(
-        self, calibration: DeviceCalibration, include_readout: bool = True
+        self,
+        calibration: Optional[DeviceCalibration] = None,
+        include_readout: bool = True,
     ) -> float:
         """Shorthand for ``success_estimate(...).probability``."""
         return self.success_estimate(calibration, include_readout).probability
+
+    def _calibration(self, calibration: Optional[DeviceCalibration]) -> DeviceCalibration:
+        if calibration is not None:
+            return calibration
+        if self.target is not None and self.target.calibration is not None:
+            return self.target.calibration
+        raise TranspilerError(
+            "no calibration given and the compilation target carries none"
+        )
 
     # ------------------------------------------------------------------
     def physical_qubits_of(self, logical_qubits) -> list:

@@ -29,7 +29,7 @@ from ..bench_circuits.suite import (
     get_benchmark,
 )
 from ..circuits.circuit import QuantumCircuit
-from ..compiler.pipeline import compile_baseline, compile_trios
+from ..compiler.pipeline import transpile
 from ..compiler.result import CompilationResult
 from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, near_term_calibration
@@ -51,6 +51,10 @@ class BenchmarkComparison:
     trios_success: float
     baseline_depth: int
     trios_depth: int
+    #: Per-pass telemetry of the two compilations (``--profile-passes`` data);
+    #: ``None`` for rows built before the DAG-IR refactor.
+    baseline_pass_timings: Optional[List[Dict[str, object]]] = None
+    trios_pass_timings: Optional[List[Dict[str, object]]] = None
 
     @property
     def cnot_reduction(self) -> float:
@@ -101,6 +105,16 @@ class BenchmarkExperimentResult:
         table = self.comparisons[topology]
         return [table[name] for name in table if name in TOFFOLI_BENCHMARKS]
 
+    def all_pass_timings(self) -> List[Dict[str, object]]:
+        """Every pass-telemetry record across the sweep (both pipelines)."""
+        records: List[Dict[str, object]] = []
+        for table in self.comparisons.values():
+            for row in table.values():
+                for timings in (row.baseline_pass_timings, row.trios_pass_timings):
+                    if timings:
+                        records.extend(timings)
+        return records
+
 
 # ----------------------------------------------------------------------
 # Compile-once cache
@@ -140,12 +154,9 @@ def compile_benchmark_cached(
     if result is None:
         if circuit is None:
             circuit = get_benchmark(benchmark)
-        if method == "baseline":
-            result = compile_baseline(circuit, coupling_map, seed=seed)
-        elif method == "trios":
-            result = compile_trios(circuit, coupling_map, seed=seed)
-        else:
+        if method not in ("baseline", "trios"):
             raise ReproError(f"unknown compilation method {method!r}")
+        result = transpile(circuit, coupling_map, method=method, seed=seed)
         _COMPILE_CACHE[key] = result
     return result
 
@@ -244,6 +255,8 @@ def compare_benchmark(
         trios_success=trios_success,
         baseline_depth=baseline.depth,
         trios_depth=trios.depth,
+        baseline_pass_timings=baseline.pass_timings,
+        trios_pass_timings=trios.pass_timings,
     )
 
 

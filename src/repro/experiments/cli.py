@@ -24,6 +24,7 @@ from .report import (
     format_benchmark_normalized,
     format_benchmark_reduction,
     format_benchmark_success,
+    format_pass_profile,
     format_sensitivity,
     format_table1,
     format_toffoli_gate_counts,
@@ -54,6 +55,8 @@ def _build_parser() -> argparse.ArgumentParser:
     toffoli.add_argument("--sampler", default="failure",
                          choices=["failure", "trajectory", "ideal"],
                          help="simulation backend (default: failure)")
+    toffoli.add_argument("--profile-passes", action="store_true",
+                         help="print the per-pass time / gate-delta table")
 
     benchmarks = subparsers.add_parser(
         "benchmarks", help="Figures 9-11: benchmark suite on the four topologies"
@@ -67,6 +70,12 @@ def _build_parser() -> argparse.ArgumentParser:
     benchmarks.add_argument("--jobs", type=int, default=1,
                             help="worker processes for the sweep cells "
                                  "(default 1 = serial; results are identical)")
+    benchmarks.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                            default=None,
+                            help="restrict the sweep to these Table 1 "
+                                 "benchmarks (default: all)")
+    benchmarks.add_argument("--profile-passes", action="store_true",
+                            help="print the per-pass time / gate-delta table")
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="Figure 12: sensitivity to device error rates"
@@ -84,6 +93,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--jobs", type=int, default=1,
                              help="worker processes for the per-benchmark "
                                   "curves (default 1 = serial)")
+    sensitivity.add_argument("--profile-passes", action="store_true",
+                             help="print the per-pass time / gate-delta table")
 
     subparsers.add_parser("all", help="Run everything (may take a minute)")
     return parser
@@ -94,7 +105,13 @@ def _run_table1() -> None:
     print(format_table1(all_benchmark_statistics()))
 
 
-def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure") -> None:
+def _print_pass_profile(result) -> None:
+    print("\n[Pass profile] per-pass compile time and gate delta\n")
+    print(format_pass_profile(result.all_pass_timings()))
+
+
+def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure",
+                 profile_passes: bool = False) -> None:
     result = run_toffoli_experiment(num_triplets=triplets, shots=shots, seed=seed,
                                     sampler=sampler)
     print("[Figure 7] CNOT gate counts\n")
@@ -106,26 +123,34 @@ def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure")
     print(f"\nGeomean gate reduction: {result.gate_reduction() * 100:.1f}% (paper: 35%)")
     print(f"Geomean success increase: {(result.geomean_improvement() - 1) * 100:.1f}% "
           f"(paper: 23%)")
+    if profile_passes:
+        _print_pass_profile(result)
 
 
 def _run_benchmarks(seed: int, backend: str = "analytic", shots: int = 2048,
-                    jobs: int = 1) -> None:
+                    jobs: int = 1, benchmarks: Optional[Sequence[str]] = None,
+                    profile_passes: bool = False) -> None:
     result = run_benchmark_experiment(seed=seed, backend=backend, shots=shots,
-                                      jobs=jobs)
+                                      jobs=jobs, benchmarks=benchmarks)
     print("[Figure 9] Simulated success probabilities\n")
     print(format_benchmark_success(result))
     print("[Figure 10] CNOT reduction\n")
     print(format_benchmark_reduction(result))
     print("\n[Figure 11] Success normalised to the baseline\n")
     print(format_benchmark_normalized(result))
+    if profile_passes:
+        _print_pass_profile(result)
 
 
 def _run_sensitivity(factors: Sequence[float], backend: str = "analytic",
-                     shots: int = 2048, jobs: int = 1) -> None:
+                     shots: int = 2048, jobs: int = 1,
+                     profile_passes: bool = False) -> None:
     result = run_sensitivity_experiment(factors=list(factors), backend=backend,
                                         shots=shots, jobs=jobs)
     print("[Figure 12] p_trios / p_baseline vs error-rate improvement\n")
     print(format_sensitivity(result))
+    if profile_passes:
+        _print_pass_profile(result)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -134,11 +159,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         _run_table1()
     elif args.command == "toffoli":
-        _run_toffoli(args.triplets, args.shots, args.seed, args.sampler)
+        _run_toffoli(args.triplets, args.shots, args.seed, args.sampler,
+                     profile_passes=args.profile_passes)
     elif args.command == "benchmarks":
-        _run_benchmarks(args.seed, args.backend, args.shots, args.jobs)
+        _run_benchmarks(args.seed, args.backend, args.shots, args.jobs,
+                        benchmarks=args.benchmarks,
+                        profile_passes=args.profile_passes)
     elif args.command == "sensitivity":
-        _run_sensitivity(args.factors, args.backend, args.shots, args.jobs)
+        _run_sensitivity(args.factors, args.backend, args.shots, args.jobs,
+                         profile_passes=args.profile_passes)
     elif args.command == "all":
         _run_table1()
         print("\n")

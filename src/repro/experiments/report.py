@@ -7,7 +7,7 @@ example scripts use these to show the regenerated rows/series.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from ..bench_circuits.suite import PAPER_TABLE1, BenchmarkStats
 from .benchmarks import BenchmarkExperimentResult
@@ -151,4 +151,42 @@ def format_sensitivity(result: SensitivityResult) -> str:
     rows = []
     for name, curve in result.curves.items():
         rows.append((name,) + tuple(f"{r:.2f}" for r in curve.ratios))
+    return _format_table(headers, rows)
+
+
+def format_pass_profile(timings: Iterable[Dict[str, object]]) -> str:
+    """Aggregate per-pass telemetry into a time / gate-delta table.
+
+    ``timings`` is any iterable of the ``{"pass", "stage", "seconds",
+    "size_before", "size_after"}`` records that the pass manager stores in
+    ``CompilationResult.pass_timings``; records of the same pass (across
+    compilations and fixed-point sweeps) are summed.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    order: List[str] = []
+    for record in timings:
+        key = f"{record.get('stage') or '-'}/{record['pass']}"
+        if key not in totals:
+            totals[key] = {"calls": 0, "seconds": 0.0, "delta": 0}
+            order.append(key)
+        entry = totals[key]
+        entry["calls"] += 1
+        entry["seconds"] += float(record["seconds"])
+        entry["delta"] += int(record["size_after"]) - int(record["size_before"])
+    if not totals:
+        return "(no pass telemetry recorded)"
+    rows = []
+    for key in sorted(order, key=lambda k: -totals[k]["seconds"]):
+        stage, name = key.split("/", 1)
+        entry = totals[key]
+        rows.append(
+            (
+                name,
+                stage,
+                int(entry["calls"]),
+                f"{entry['seconds'] * 1e3:.1f}",
+                f"{int(entry['delta']):+d}",
+            )
+        )
+    headers = ("pass", "stage", "calls", "total ms", "gate delta")
     return _format_table(headers, rows)

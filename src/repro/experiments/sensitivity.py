@@ -36,6 +36,7 @@ class SensitivityCurve:
     benchmark: str
     factors: List[float]
     ratios: List[float]
+    pass_timings: List[dict] = field(default_factory=list)
 
     def ratio_at(self, factor: float) -> float:
         """Ratio at the factor closest to ``factor``."""
@@ -53,6 +54,13 @@ class SensitivityResult:
 
     def benchmarks(self) -> List[str]:
         return list(self.curves)
+
+    def all_pass_timings(self) -> List[dict]:
+        """Every pass-telemetry record across the compiled benchmark pairs."""
+        records: List[dict] = []
+        for curve in self.curves.values():
+            records.extend(curve.pass_timings)
+        return records
 
 
 def default_factors(num_points: int = 9, maximum: float = 100.0) -> List[float]:
@@ -103,7 +111,8 @@ def _sensitivity_cell(
         )
         return None
     return SensitivityCurve(
-        benchmark=benchmark, factors=list(factors), ratios=ratios
+        benchmark=benchmark, factors=list(factors), ratios=ratios,
+        pass_timings=baseline.pass_timings + trios.pass_timings,
     )
 
 

@@ -82,6 +82,7 @@ class TripletResult:
     total_distance: int
     cnot_counts: Dict[str, int] = field(default_factory=dict)
     success_rates: Dict[str, float] = field(default_factory=dict)
+    pass_timings: Dict[str, List[dict]] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -123,6 +124,14 @@ class ToffoliExperimentResult:
         baseline = self.geomean_cnots("Qiskit (baseline)")
         trios = self.geomean_cnots("Trios (8-CNOT Toffoli)")
         return 1.0 - trios / baseline
+
+    def all_pass_timings(self) -> List[dict]:
+        """Every pass-telemetry record across triplets and configurations."""
+        records: List[dict] = []
+        for row in self.rows:
+            for timings in row.pass_timings.values():
+                records.extend(timings)
+        return records
 
 
 def random_triplets(
@@ -176,6 +185,7 @@ def run_toffoli_experiment(
                 configuration, coupling_map, placement, seed=seed + index
             )
             row.cnot_counts[configuration] = compiled.two_qubit_gate_count
+            row.pass_timings[configuration] = compiled.pass_timings
             measured = compiled.physical_qubits_of([0, 1, 2])
             engine = get_backend(sampler, calibration, seed=seed + index)
             counts = engine.run_counts(

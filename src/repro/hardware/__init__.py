@@ -15,6 +15,7 @@ from .calibration import (
     johannesburg_aug19_2020,
     near_term_calibration,
 )
+from .target import Target, DEFAULT_BASIS_GATES
 
 __all__ = [
     "CouplingMap",
@@ -28,4 +29,6 @@ __all__ = [
     "DeviceCalibration",
     "johannesburg_aug19_2020",
     "near_term_calibration",
+    "Target",
+    "DEFAULT_BASIS_GATES",
 ]

@@ -1,0 +1,86 @@
+"""The compilation target: connectivity + calibration + basis gate set.
+
+A :class:`Target` bundles everything the driver needs to know about the device
+being compiled for — the :class:`~repro.hardware.topology.CouplingMap`, an
+optional :class:`~repro.hardware.calibration.DeviceCalibration` (required for
+noise-aware layout/routing and for success estimation), and the native basis
+gate names.  ``transpile(circuit, target, ...)`` consumes it directly, and it
+travels on the :class:`~repro.compiler.result.CompilationResult` so downstream
+consumers (experiments, reports) see what was compiled for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..exceptions import TranspilerError
+from .calibration import DeviceCalibration
+from .topology import CouplingMap
+
+#: IBM's hardware-native basis (§1); SWAP is routing-internal and expanded later.
+DEFAULT_BASIS_GATES: Tuple[str, ...] = ("u1", "u2", "u3", "cx")
+
+
+@dataclass(eq=False)
+class Target:
+    """A compilation target (device model) for :func:`repro.compiler.transpile`."""
+
+    coupling_map: CouplingMap
+    calibration: Optional[DeviceCalibration] = None
+    basis_gates: Tuple[str, ...] = DEFAULT_BASIS_GATES
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.basis_gates = tuple(self.basis_gates)
+        if not self.name:
+            self.name = self.coupling_map.name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(
+        cls,
+        target: Union["Target", CouplingMap],
+        calibration: Optional[DeviceCalibration] = None,
+    ) -> "Target":
+        """Normalise a ``Target`` or bare ``CouplingMap`` into a ``Target``.
+
+        A ``calibration`` argument fills in (but never overrides) a missing
+        calibration, which is how the legacy ``calibration=`` keyword of the
+        ``compile_*`` shims folds into the target.
+        """
+        if isinstance(target, Target):
+            if calibration is not None and target.calibration is None:
+                return cls(
+                    target.coupling_map, calibration, target.basis_gates, target.name
+                )
+            return target
+        if isinstance(target, CouplingMap):
+            return cls(target, calibration)
+        raise TranspilerError(
+            f"expected a Target or CouplingMap, got {type(target).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits on the device."""
+        return self.coupling_map.num_qubits
+
+    def require_calibration(self, why: str) -> DeviceCalibration:
+        """The calibration, or a clear error naming the feature that needs it."""
+        if self.calibration is None:
+            raise TranspilerError(f"{why} requires a Target with a calibration")
+        return self.calibration
+
+    def noise_edge_weights(self) -> Dict[Tuple[int, int], float]:
+        """Noise-aware routing weights: ``-log`` CNOT success per edge (§4)."""
+        calibration = self.require_calibration("noise-aware compilation")
+        return calibration.edge_weight_neg_log_success(self.coupling_map)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cal = self.calibration.name if self.calibration is not None else None
+        return (
+            f"Target(name={self.name!r}, qubits={self.num_qubits}, "
+            f"basis={'/'.join(self.basis_gates)}, calibration={cal!r})"
+        )

@@ -1,6 +1,14 @@
 """Compiler passes: decomposition, layout, routing, optimisation and scheduling."""
 
-from .base import BasePass, PassManager, PropertySet
+from .base import (
+    AnalysisPass,
+    BasePass,
+    FixedPoint,
+    PassManager,
+    PropertySet,
+    Stage,
+    TransformationPass,
+)
 from .synthesis import zyz_angles, u3_from_matrix, matrix_is_identity
 from .layout import (
     Layout,
@@ -31,9 +39,13 @@ from .optimization import (
 from .scheduling import Schedule, ScheduledInstruction, asap_schedule, ASAPSchedulePass
 
 __all__ = [
+    "AnalysisPass",
     "BasePass",
+    "FixedPoint",
     "PassManager",
     "PropertySet",
+    "Stage",
+    "TransformationPass",
     "zyz_angles",
     "u3_from_matrix",
     "matrix_is_identity",

@@ -1,19 +1,35 @@
-"""Pass framework: a minimal analogue of Qiskit's pass manager.
+"""Pass framework: DAG-based passes, stages, fixed-point loops and telemetry.
 
-A :class:`BasePass` transforms a :class:`~repro.circuits.circuit.QuantumCircuit`
-and may read/write shared state in a :class:`PropertySet` (the initial layout,
-the final layout after routing, the number of SWAPs inserted, ...).  A
-:class:`PassManager` runs a fixed sequence of passes, which is exactly how the
-paper describes both the conventional flow (Figure 2a) and the Trios flow
-(Figure 2b).
+Every pass runs on the :class:`~repro.circuits.dag.DagCircuit` IR:
+
+* an :class:`AnalysisPass` inspects the DAG and records results in the
+  :class:`PropertySet` (layout selection, scheduling, ...);
+* a :class:`TransformationPass` rewrites the DAG — in place for local rewrites
+  (decomposition, cancellation, consolidation) or by building a fresh DAG when
+  the wire set changes (routing onto physical qubits).
+
+A :class:`PassManager` executes named :class:`Stage` groups in order,
+converting the input circuit to a DAG exactly once and back exactly once, and
+records per-pass wall-clock time and instruction deltas in
+``properties["pass_timings"]``.  The :class:`FixedPoint` combinator repeats a
+pass group until a whole sweep makes no structural modification, which is how
+the optimisation stage iterates cancellation/consolidation to convergence
+instead of one hard-coded sweep.
+
+For convenience (and backwards compatibility with the list-IR era) every pass
+also accepts a plain :class:`~repro.circuits.circuit.QuantumCircuit` in
+:meth:`BasePass.run` and returns a circuit in that case.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.dag import DagCircuit
 from ..exceptions import TranspilerError
 
 
@@ -26,11 +42,39 @@ class PropertySet(dict):
     * ``"final_layout"`` — logical→physical layout after routing.
     * ``"swaps_inserted"`` — number of SWAP gates added by routing.
     * ``"coupling_map"`` — the target :class:`~repro.hardware.topology.CouplingMap`.
+    * ``"pass_history"`` — names of the passes executed, in order.
+    * ``"pass_timings"`` — one ``{pass, stage, seconds, size_before,
+      size_after}`` record per executed pass (the ``--profile-passes`` data).
+    * ``"fixed_point_iterations"`` — sweeps each :class:`FixedPoint` loop took.
     """
 
 
+def record_timing(
+    properties: PropertySet,
+    pass_name: str,
+    stage: Optional[str],
+    seconds: float,
+    size_before: int,
+    size_after: int,
+) -> None:
+    """Append one telemetry record to ``properties["pass_timings"]``."""
+    properties.setdefault("pass_timings", []).append(
+        {
+            "pass": pass_name,
+            "stage": stage,
+            "seconds": seconds,
+            "size_before": size_before,
+            "size_after": size_after,
+        }
+    )
+
+
 class BasePass(ABC):
-    """A single circuit transformation or analysis step."""
+    """A single compilation step running on the DAG IR."""
+
+    #: Set by combinators (e.g. :class:`FixedPoint`) that time their inner
+    #: passes themselves, so the pass manager does not double-record them.
+    records_own_telemetry = False
 
     @property
     def name(self) -> str:
@@ -38,41 +82,241 @@ class BasePass(ABC):
         return type(self).__name__
 
     @abstractmethod
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        """Transform ``circuit`` (or return it unchanged for analysis passes)."""
+    def execute(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        """Run on ``dag`` and return the (possibly new, possibly same) DAG."""
+
+    def run(
+        self,
+        circuit: Union[QuantumCircuit, DagCircuit],
+        properties: Optional[PropertySet] = None,
+    ):
+        """Convenience entry point accepting a circuit or a DAG.
+
+        Given a :class:`QuantumCircuit`, converts to a DAG, executes, and
+        converts back; given a :class:`DagCircuit`, executes directly and
+        returns the DAG.
+        """
+        properties = properties if properties is not None else PropertySet()
+        if isinstance(circuit, DagCircuit):
+            return self.execute(circuit, properties)
+        dag = DagCircuit.from_circuit(circuit)
+        out = self.execute(dag, properties)
+        if out is None:
+            raise TranspilerError(f"pass {self.name} returned None")
+        return out.to_circuit()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{self.name}>"
 
 
-class PassManager:
-    """Runs an ordered list of passes over a circuit."""
+class AnalysisPass(BasePass):
+    """A pass that inspects the DAG and writes results into the property set."""
 
-    def __init__(self, passes: Optional[Sequence[BasePass]] = None) -> None:
-        self.passes: List[BasePass] = list(passes or [])
+    @abstractmethod
+    def analyze(self, dag: DagCircuit, properties: PropertySet) -> None:
+        """Inspect ``dag`` (read-only) and record findings in ``properties``."""
 
-    def append(self, single_pass: BasePass) -> "PassManager":
-        """Add a pass to the end of the pipeline; returns ``self`` for chaining."""
-        if not isinstance(single_pass, BasePass):
-            raise TranspilerError(f"{single_pass!r} is not a BasePass")
-        self.passes.append(single_pass)
-        return self
+    def execute(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        self.analyze(dag, properties)
+        return dag
 
     def run(
         self,
-        circuit: QuantumCircuit,
+        circuit: Union[QuantumCircuit, DagCircuit],
         properties: Optional[PropertySet] = None,
-    ) -> Tuple[QuantumCircuit, PropertySet]:
-        """Run every pass in order and return the final circuit and properties."""
+    ):
         properties = properties if properties is not None else PropertySet()
-        current = circuit
-        history: List[str] = properties.setdefault("pass_history", [])
+        if isinstance(circuit, DagCircuit):
+            self.analyze(circuit, properties)
+            return circuit
+        # Analysis never mutates, so the circuit's shared memoized DAG is the
+        # right view — no rebuild, no copy.
+        self.analyze(circuit.dag(), properties)
+        return circuit
+
+
+class TransformationPass(BasePass):
+    """A pass that rewrites the DAG (in place or by returning a new one)."""
+
+    @abstractmethod
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        """Rewrite ``dag``; return the resulting DAG (may be ``dag`` itself)."""
+
+    def execute(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        out = self.run_dag(dag, properties)
+        if out is None:
+            raise TranspilerError(f"pass {self.name} returned None")
+        return out
+
+
+def _same_instruction_sequence(left: Sequence, right: Sequence) -> bool:
+    """True when both linearisations hold identical instruction objects."""
+    if len(left) != len(right):
+        return False
+    return all(a is b or a == b for a, b in zip(left, right))
+
+
+class FixedPoint(TransformationPass):
+    """Repeat a pass group until a full sweep makes no structural change.
+
+    Convergence is detected through :attr:`DagCircuit.modification_count`: a
+    sweep that neither removes, inserts nor substitutes any node (on the same
+    DAG object) is a fixed point.  Passes that rebuild a fresh DAG instead of
+    mutating in place are supported through an O(n) fallback comparing the
+    instruction sequences (instructions are immutable and shared, so an
+    unchanged rebuild carries the same objects).  The passes in the group are
+    responsible for not reporting byte-churn as progress (see
+    :class:`~repro.passes.optimization.Consolidate1qRunsPass`).
+    """
+
+    records_own_telemetry = True
+
+    def __init__(self, passes: Sequence[BasePass], max_iterations: int = 64) -> None:
+        self.passes: List[BasePass] = list(passes)
         for single_pass in self.passes:
-            current = single_pass.run(current, properties)
-            if current is None:
+            if not isinstance(single_pass, BasePass):
+                raise TranspilerError(f"{single_pass!r} is not a BasePass")
+        self.max_iterations = int(max_iterations)
+
+    @property
+    def name(self) -> str:
+        inner = ", ".join(p.name for p in self.passes)
+        return f"FixedPoint[{inner}]"
+
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        stage = properties.get("_current_stage")
+        for iteration in range(1, self.max_iterations + 1):
+            before_dag = dag
+            before_mods = dag.modification_count
+            # Snapshot for the rebuild fallback below: `before_dag` itself may
+            # be mutated in place during the sweep, so comparing against the
+            # object at sweep end would miss those changes.
+            before_instructions = dag.instructions
+            for single_pass in self.passes:
+                start = time.perf_counter()
+                size_before = len(dag)
+                dag = single_pass.execute(dag, properties)
+                if dag is None:
+                    raise TranspilerError(f"pass {single_pass.name} returned None")
+                record_timing(
+                    properties,
+                    single_pass.name,
+                    stage,
+                    time.perf_counter() - start,
+                    size_before,
+                    len(dag),
+                )
+            if dag is before_dag:
+                converged = dag.modification_count == before_mods
+            else:
+                # A pass rebuilt the DAG; compare content against the
+                # sweep-start snapshot instead of counters.
+                converged = dag.num_qubits == before_dag.num_qubits and (
+                    _same_instruction_sequence(
+                        dag.instructions, before_instructions
+                    )
+                )
+            if converged:
+                properties.setdefault("fixed_point_iterations", []).append(iteration)
+                return dag
+        raise TranspilerError(
+            f"{self.name} did not converge within {self.max_iterations} sweeps"
+        )
+
+
+@dataclass
+class Stage:
+    """A named group of passes — the unit the driver's pipelines are built from."""
+
+    name: str
+    passes: List[BasePass]
+
+    def __post_init__(self) -> None:
+        self.passes = list(self.passes)
+        for single_pass in self.passes:
+            if not isinstance(single_pass, BasePass):
+                raise TranspilerError(f"{single_pass!r} is not a BasePass")
+
+
+class PassManager:
+    """Runs stages (or a flat pass list) over a circuit via the DAG IR.
+
+    The input circuit is converted to a :class:`DagCircuit` once, every pass
+    runs on the DAG, and the final DAG is linearised back to a circuit once —
+    transformation passes never round-trip through an instruction list.
+    """
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[Union[BasePass, Stage]]] = None,
+    ) -> None:
+        self._units: List[Tuple[Optional[str], BasePass]] = []
+        for item in passes or []:
+            self.append(item)
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        item: Union[BasePass, Stage],
+        stage: Optional[str] = None,
+    ) -> "PassManager":
+        """Add a pass (optionally under a stage name) or a whole stage."""
+        if isinstance(item, Stage):
+            for single_pass in item.passes:
+                self._units.append((item.name, single_pass))
+            return self
+        if not isinstance(item, BasePass):
+            raise TranspilerError(f"{item!r} is not a BasePass")
+        self._units.append((stage, item))
+        return self
+
+    @property
+    def passes(self) -> List[BasePass]:
+        """The flat pass list, in execution order."""
+        return [single_pass for _, single_pass in self._units]
+
+    def stages(self) -> List[str]:
+        """Distinct stage names, in first-appearance order."""
+        seen: List[str] = []
+        for stage, _ in self._units:
+            if stage is not None and stage not in seen:
+                seen.append(stage)
+        return seen
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: Union[QuantumCircuit, DagCircuit],
+        properties: Optional[PropertySet] = None,
+    ) -> Tuple[Union[QuantumCircuit, DagCircuit], PropertySet]:
+        """Run every pass in order; returns the final circuit and properties.
+
+        The return type mirrors the input: a circuit in, a circuit out; a DAG
+        in, a DAG out.
+        """
+        properties = properties if properties is not None else PropertySet()
+        was_circuit = isinstance(circuit, QuantumCircuit)
+        dag = DagCircuit.from_circuit(circuit) if was_circuit else circuit
+        history: List[str] = properties.setdefault("pass_history", [])
+        for stage, single_pass in self._units:
+            properties["_current_stage"] = stage
+            start = time.perf_counter()
+            size_before = len(dag)
+            dag = single_pass.execute(dag, properties)
+            if dag is None:
                 raise TranspilerError(f"pass {single_pass.name} returned None")
+            if not single_pass.records_own_telemetry:
+                record_timing(
+                    properties,
+                    single_pass.name,
+                    stage,
+                    time.perf_counter() - start,
+                    size_before,
+                    len(dag),
+                )
             history.append(single_pass.name)
-        return current, properties
+        properties.pop("_current_stage", None)
+        return (dag.to_circuit() if was_circuit else dag), properties
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = ", ".join(p.name for p in self.passes)

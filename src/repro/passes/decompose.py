@@ -12,10 +12,11 @@ import math
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.dag import DagCircuit
 from ..circuits import library
 from ..circuits.gate import Gate
 from ..exceptions import TranspilerError
-from .base import BasePass, PropertySet
+from .base import PropertySet, TransformationPass
 from .synthesis import u3_from_matrix
 from .toffoli import toffoli_6cnot, toffoli_8cnot_line, ccz_6cnot, ccz_8cnot_line
 
@@ -124,7 +125,7 @@ def _three_qubit_rule(instruction: Instruction, toffoli_mode: str) -> List[Instr
     raise TranspilerError(f"no decomposition rule for gate {name!r}")
 
 
-class DecomposeToBasisPass(BasePass):
+class DecomposeToBasisPass(TransformationPass):
     """Unroll every gate into the target basis, optionally keeping some gates.
 
     Args:
@@ -173,21 +174,23 @@ class DecomposeToBasisPass(BasePass):
         mapping = dict(enumerate(instruction.qubits))
         return [piece.remap(mapping) for piece in template]
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        # Worklist: expand one level at a time until everything is in basis.
-        stack: List[Instruction] = list(reversed(circuit.instructions))
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        # Expand one level at a time, in place: an out-of-basis node is
+        # substituted by its (possibly still out-of-basis) pieces and the
+        # cursor re-examines the first piece, exactly like the old worklist.
+        node = dag.head
         guard = 0
-        max_steps = 200 * (len(circuit.instructions) + 1)
-        while stack:
+        max_steps = 200 * (len(dag) + 1)
+        while node is not None:
             guard += 1
             if guard > max_steps:
                 raise TranspilerError("decomposition did not converge")
-            instruction = stack.pop()
+            instruction = node.instruction
             name = instruction.name
             if name in self.keep or name in self.basis or not instruction.gate.is_unitary:
-                out.append_instruction(instruction)
+                node = node.next_node
                 continue
             replacements = self._expand(instruction)
-            stack.extend(reversed(replacements))
-        return out
+            first, after = dag.substitute_node_with_instructions(node, replacements)
+            node = first if first is not None else after
+        return dag

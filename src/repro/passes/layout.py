@@ -15,10 +15,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.dag import DagCircuit
 from ..exceptions import LayoutError
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.topology import CouplingMap
-from .base import BasePass, PropertySet
+from .base import AnalysisPass, PropertySet
 
 
 class Layout:
@@ -92,24 +93,23 @@ class Layout:
 # ----------------------------------------------------------------------
 # Layout passes
 # ----------------------------------------------------------------------
-class TrivialLayoutPass(BasePass):
+class TrivialLayoutPass(AnalysisPass):
     """Place logical qubit ``i`` on physical qubit ``i``."""
 
     def __init__(self, coupling_map: CouplingMap) -> None:
         self.coupling_map = coupling_map
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        if circuit.num_qubits > self.coupling_map.num_qubits:
+    def analyze(self, dag: DagCircuit, properties: PropertySet) -> None:
+        if dag.num_qubits > self.coupling_map.num_qubits:
             raise LayoutError(
-                f"circuit needs {circuit.num_qubits} qubits but the device has "
+                f"circuit needs {dag.num_qubits} qubits but the device has "
                 f"{self.coupling_map.num_qubits}"
             )
-        properties["layout"] = Layout.trivial(circuit.num_qubits)
+        properties["layout"] = Layout.trivial(dag.num_qubits)
         properties["coupling_map"] = self.coupling_map
-        return circuit
 
 
-class FixedLayoutPass(BasePass):
+class FixedLayoutPass(AnalysisPass):
     """Use an explicit logical→physical placement.
 
     The paper's Toffoli-only experiments place the three inputs at chosen
@@ -121,8 +121,8 @@ class FixedLayoutPass(BasePass):
         self.coupling_map = coupling_map
         self.mapping = dict(mapping)
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        for logical in range(circuit.num_qubits):
+    def analyze(self, dag: DagCircuit, properties: PropertySet) -> None:
+        for logical in range(dag.num_qubits):
             if logical not in self.mapping:
                 raise LayoutError(f"fixed layout is missing logical qubit {logical}")
             physical = self.mapping[logical]
@@ -130,10 +130,9 @@ class FixedLayoutPass(BasePass):
                 raise LayoutError(f"physical qubit {physical} outside the device")
         properties["layout"] = Layout(self.mapping)
         properties["coupling_map"] = self.coupling_map
-        return circuit
 
 
-class GreedyInteractionLayoutPass(BasePass):
+class GreedyInteractionLayoutPass(AnalysisPass):
     """Greedy placement driven by the program's weighted interaction graph.
 
     Toffoli gates are weighted as the equivalent 6 CNOTs (weight 2 per qubit
@@ -159,17 +158,16 @@ class GreedyInteractionLayoutPass(BasePass):
             return float(self.coupling_map.distance(a, b))
         return self.coupling_map.path_length(a, b, self._edge_weights)
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        if circuit.num_qubits > self.coupling_map.num_qubits:
+    def analyze(self, dag: DagCircuit, properties: PropertySet) -> None:
+        if dag.num_qubits > self.coupling_map.num_qubits:
             raise LayoutError(
-                f"circuit needs {circuit.num_qubits} qubits but the device has "
+                f"circuit needs {dag.num_qubits} qubits but the device has "
                 f"{self.coupling_map.num_qubits}"
             )
-        interactions = circuit.interactions(toffoli_weight=self.TOFFOLI_PAIR_WEIGHT)
-        placement = self._place(circuit.num_qubits, interactions)
+        interactions = dag.interactions(toffoli_weight=self.TOFFOLI_PAIR_WEIGHT)
+        placement = self._place(dag.num_qubits, interactions)
         properties["layout"] = Layout(placement)
         properties["coupling_map"] = self.coupling_map
-        return circuit
 
     # ------------------------------------------------------------------
     def _place(

@@ -1,9 +1,15 @@
-"""Circuit-level optimisation passes.
+"""Circuit-level optimisation passes, expressed as local DAG rewrites.
 
 These mirror the "light optimisation" the paper says Qiskit's default transpile
 performs (§5.2): single-qubit gate consolidation and adjacent inverse-gate
 cancellation, plus the SWAP→3-CNOT expansion that every routed circuit needs
 before gate counting, scheduling and noise estimation.
+
+All passes here mutate the :class:`~repro.circuits.dag.DagCircuit` in place —
+removing cancelled pairs, splicing merged gates before their anchor — instead
+of rebuilding an instruction list per sweep, which is what lets the driver's
+:class:`~repro.passes.base.FixedPoint` combinator iterate them to convergence
+cheaply.
 """
 
 from __future__ import annotations
@@ -13,139 +19,162 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.dag import DagCircuit, DagNode
 from ..circuits import library
 from ..exceptions import TranspilerError
-from .base import BasePass, PropertySet
+from .base import PropertySet, TransformationPass
 from .synthesis import matrix_is_identity, u3_from_matrix
 
 
-class DecomposeSwapsPass(BasePass):
+class DecomposeSwapsPass(TransformationPass):
     """Expand every explicit SWAP into its three-CNOT implementation (§2.2)."""
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        for instruction in circuit.instructions:
-            if instruction.name != "swap":
-                out.append_instruction(instruction)
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        node = dag.head
+        while node is not None:
+            if node.name != "swap":
+                node = node.next_node
                 continue
-            a, b = instruction.qubits
-            out.cx(a, b)
-            out.cx(b, a)
-            out.cx(a, b)
-        return out
+            a, b = node.qubits
+            _, node = dag.substitute_node_with_instructions(
+                node,
+                [
+                    Instruction(library.cx_gate(), (a, b)),
+                    Instruction(library.cx_gate(), (b, a)),
+                    Instruction(library.cx_gate(), (a, b)),
+                ],
+            )
+        return dag
 
 
-class RemoveBarriersPass(BasePass):
+class RemoveBarriersPass(TransformationPass):
     """Drop barrier markers (they carry no semantics for our simulators)."""
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        return circuit.without(["barrier"])
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        node = dag.head
+        while node is not None:
+            nxt = node.next_node
+            if node.name == "barrier":
+                dag.remove_node(node)
+            node = nxt
+        return dag
 
 
-class CancelAdjacentInversesPass(BasePass):
+class CancelAdjacentInversesPass(TransformationPass):
     """Cancel neighbouring gate pairs ``G · G⁻¹`` acting on the same qubits.
 
     Routing frequently produces back-to-back CNOT pairs (end of one SWAP,
     start of the next gate); removing them is the cheapest of Qiskit's standard
     clean-ups and keeps the baseline comparison fair.
+
+    A gate cancels when its immediate predecessor *on every one of its wires*
+    is one single gate applied to the same qubits in the same order whose gate
+    object is the inverse.  Because removing a pair relinks the wire chains,
+    cancellations enabled by earlier cancellations (e.g. ``[X, CX, CX, X]``)
+    are found in the same sweep; ``max_iterations`` extra sweeps remain as a
+    safety net and for convergence under the fixed-point combinator.
     """
 
     def __init__(self, max_iterations: int = 10) -> None:
         self.max_iterations = max_iterations
 
-    def _single_pass(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, bool]:
-        out_instructions: List[Instruction] = []
-        # For every qubit, index into out_instructions of the last op touching it.
-        last_touch: Dict[int, int] = {}
+    def _sweep(self, dag: DagCircuit) -> bool:
         changed = False
-        for instruction in circuit.instructions:
+        node = dag.head
+        while node is not None:
+            nxt = node.next_node
+            instruction = node.instruction
             qubits = instruction.qubits
-            candidate_index: Optional[int] = None
             if instruction.gate.is_unitary and qubits:
-                touches = [last_touch.get(q) for q in qubits]
-                if all(t is not None for t in touches) and len(set(touches)) == 1:
-                    candidate_index = touches[0]
-            if candidate_index is not None:
-                previous = out_instructions[candidate_index]
-                same_wires = previous.qubits == qubits
-                is_inverse = (
-                    previous.gate.is_unitary
-                    and same_wires
-                    and previous.gate == instruction.gate.inverse()
-                )
-                if is_inverse:
-                    # Drop both gates; mark the slot as removed (None placeholder).
-                    out_instructions[candidate_index] = None  # type: ignore[call-overload]
-                    for qubit in qubits:
-                        last_touch.pop(qubit, None)
-                    changed = True
-                    continue
-            out_instructions.append(instruction)
-            index = len(out_instructions) - 1
-            for qubit in qubits:
-                last_touch[qubit] = index
-        new_circuit = circuit.copy_empty()
-        for instruction in out_instructions:
-            if instruction is not None:
-                new_circuit.append_instruction(instruction)
-        return new_circuit, changed
+                previous: Optional[DagNode] = node.prev_on(qubits[0])
+                if previous is not None and all(
+                    node.prev_on(q) is previous for q in qubits
+                ):
+                    prev_instruction = previous.instruction
+                    if (
+                        prev_instruction.gate.is_unitary
+                        and prev_instruction.qubits == qubits
+                        and prev_instruction.gate == instruction.gate.inverse()
+                    ):
+                        dag.remove_node(previous)
+                        dag.remove_node(node)
+                        changed = True
+            node = nxt
+        return changed
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        current = circuit
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         for _ in range(self.max_iterations):
-            current, changed = self._single_pass(current)
-            if not changed:
+            if not self._sweep(dag):
                 break
-        return current
+        return dag
 
 
-class Consolidate1qRunsPass(BasePass):
+class Consolidate1qRunsPass(TransformationPass):
     """Merge runs of single-qubit gates on a wire into a single ``u3`` gate.
 
     This is Qiskit's "single qubit gate consolidation" (§5.2).  Runs that
-    multiply to the identity are dropped entirely.
+    multiply to the identity are dropped entirely.  The merged ``u3`` is
+    spliced immediately before the instruction that ended the run (or appended
+    at the end of the DAG), exactly where the list-based pass used to emit it.
+
+    ZYZ synthesis is not byte-idempotent (re-deriving the angles of a ``u3``
+    from its own matrix can wobble in the last float bit or wrap a phase), so
+    nodes this pass emits are tagged ``canonical_1q``; a later sweep that finds
+    a run consisting of one already-canonical gate leaves it untouched and
+    reports no modification.  That makes the pass a genuine fixed point for the
+    :class:`~repro.passes.base.FixedPoint` combinator while keeping its first
+    application bit-identical to the historical behaviour.
     """
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        pending: Dict[int, np.ndarray] = {}
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        # Per-qubit pending run: the nodes collected so far and their product.
+        pending: Dict[int, Tuple[List[DagNode], np.ndarray]] = {}
 
-        def flush(qubit: int) -> None:
-            matrix = pending.pop(qubit, None)
-            if matrix is None:
+        def flush(qubit: int, anchor: Optional[DagNode]) -> None:
+            run = pending.pop(qubit, None)
+            if run is None:
                 return
+            nodes, matrix = run
+            if len(nodes) == 1 and nodes[0].canonical_1q:
+                return  # already in canonical form; rewriting would only churn bytes
+            for stale in nodes:
+                dag.remove_node(stale)
             if matrix_is_identity(matrix):
                 return
-            out.append(u3_from_matrix(matrix), (qubit,))
+            instruction = Instruction(u3_from_matrix(matrix), (qubit,))
+            if anchor is None:
+                new = dag.append_instruction(instruction)
+            else:
+                new = dag.insert_before(anchor, instruction)
+            new.canonical_1q = True
 
-        for instruction in circuit.instructions:
-            if (
-                instruction.gate.is_unitary
-                and instruction.gate.num_qubits == 1
-            ):
+        node = dag.head
+        while node is not None:
+            nxt = node.next_node
+            instruction = node.instruction
+            if instruction.gate.is_unitary and instruction.gate.num_qubits == 1:
                 qubit = instruction.qubits[0]
-                accumulated = pending.get(qubit, np.eye(2, dtype=complex))
-                pending[qubit] = instruction.gate.matrix() @ accumulated
+                nodes, matrix = pending.get(qubit, ([], np.eye(2, dtype=complex)))
+                pending[qubit] = (nodes + [node], instruction.gate.matrix() @ matrix)
+                node = nxt
                 continue
             for qubit in instruction.qubits:
-                flush(qubit)
-            out.append_instruction(instruction)
+                flush(qubit, node)
+            node = nxt
         for qubit in sorted(pending):
-            flush(qubit)
-        return out
+            flush(qubit, None)
+        return dag
 
 
-class RemoveIdentitiesPass(BasePass):
+class RemoveIdentitiesPass(TransformationPass):
     """Remove explicit identity gates and zero-angle rotations."""
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        for instruction in circuit.instructions:
-            if (
-                instruction.gate.is_unitary
-                and instruction.gate.num_qubits == 1
-                and instruction.gate.is_identity()
-            ):
-                continue
-            out.append_instruction(instruction)
-        return out
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        node = dag.head
+        while node is not None:
+            nxt = node.next_node
+            gate = node.instruction.gate
+            if gate.is_unitary and gate.num_qubits == 1 and gate.is_identity():
+                dag.remove_node(node)
+            node = nxt
+        return dag

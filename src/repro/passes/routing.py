@@ -24,16 +24,17 @@ import random
 from typing import List, Mapping, Optional, Tuple
 
 from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.dag import DagCircuit
 from ..circuits import library
 from ..exceptions import HardwareError, RoutingError
 from ..hardware.topology import CouplingMap
-from .base import BasePass, PropertySet
+from .base import PropertySet, TransformationPass
 from .layout import Layout
 
 Edge = Tuple[int, int]
 
 
-class GreedySwapRouter(BasePass):
+class GreedySwapRouter(TransformationPass):
     """Route two-qubit gates one at a time along shortest SWAP paths.
 
     Args:
@@ -91,7 +92,7 @@ class GreedySwapRouter(BasePass):
         )
 
     def _emit_swap(
-        self, out: QuantumCircuit, layout: Layout, physical_a: int, physical_b: int
+        self, out: DagCircuit, layout: Layout, physical_a: int, physical_b: int
     ) -> None:
         if not self.coupling_map.are_adjacent(physical_a, physical_b):
             raise RoutingError(
@@ -101,7 +102,7 @@ class GreedySwapRouter(BasePass):
         layout.swap_physical(physical_a, physical_b)
 
     def _route_pair(
-        self, out: QuantumCircuit, layout: Layout, logical_a: int, logical_b: int
+        self, out: DagCircuit, layout: Layout, logical_a: int, logical_b: int
     ) -> int:
         """Insert SWAPs until the two logical qubits sit on coupled wires."""
         swaps = 0
@@ -136,7 +137,7 @@ class GreedySwapRouter(BasePass):
 
     # ------------------------------------------------------------------
     def _route_instruction(
-        self, out: QuantumCircuit, layout: Layout, instruction: Instruction
+        self, out: DagCircuit, layout: Layout, instruction: Instruction
     ) -> int:
         """Route one instruction; returns the number of SWAPs inserted."""
         logical_qubits = instruction.qubits
@@ -152,7 +153,7 @@ class GreedySwapRouter(BasePass):
         return self._route_multi(out, layout, instruction)
 
     def _route_multi(
-        self, out: QuantumCircuit, layout: Layout, instruction: Instruction
+        self, out: DagCircuit, layout: Layout, instruction: Instruction
     ) -> int:
         raise RoutingError(
             f"{type(self).__name__} cannot route the {instruction.gate.num_qubits}-qubit "
@@ -160,19 +161,22 @@ class GreedySwapRouter(BasePass):
         )
 
     # ------------------------------------------------------------------
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        layout: Layout = properties.get("layout") or Layout.trivial(circuit.num_qubits)
-        if layout.num_logical < circuit.num_qubits:
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        layout: Layout = properties.get("layout") or Layout.trivial(dag.num_qubits)
+        if layout.num_logical < dag.num_qubits:
             raise RoutingError(
                 f"layout places {layout.num_logical} qubits but the circuit has "
-                f"{circuit.num_qubits}"
+                f"{dag.num_qubits}"
             )
         layout = layout.copy()
         properties.setdefault("initial_layout", layout.copy())
-        out = QuantumCircuit(self.coupling_map.num_qubits, circuit.name)
+        # Routing changes the wire set (logical program wires → the device's
+        # physical wires), so it emits a fresh DAG in one O(1)-per-append sweep
+        # over the input's topological order.
+        out = DagCircuit(self.coupling_map.num_qubits, dag.name)
         swaps = 0
-        for instruction in circuit.instructions:
-            swaps += self._route_instruction(out, layout, instruction)
+        for node in dag:
+            swaps += self._route_instruction(out, layout, node.instruction)
         properties["final_layout"] = layout.copy()
         properties["swaps_inserted"] = properties.get("swaps_inserted", 0) + swaps
         return out
@@ -187,7 +191,7 @@ class LegalizationRouter(GreedySwapRouter):
     Trios flow this pass inserts zero SWAPs, which the tests assert.
     """
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         # The circuit is already expressed on physical wires; route with an
         # identity layout over the whole device, then compose the wire
         # permutation it introduces into the recorded final layout.
@@ -195,7 +199,7 @@ class LegalizationRouter(GreedySwapRouter):
         saved_initial = properties.get("initial_layout")
         saved_final = properties.get("final_layout")
         properties["layout"] = Layout.trivial(self.coupling_map.num_qubits)
-        routed = super().run(circuit, properties)
+        routed = super().run_dag(dag, properties)
         wire_permutation: Layout = properties["final_layout"]
         if saved_final is not None:
             composed = {

@@ -12,9 +12,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.dag import DagCircuit
 from ..exceptions import ScheduleError
 from ..hardware.calibration import DeviceCalibration
-from .base import BasePass, PropertySet
+from .base import AnalysisPass, PropertySet
 
 
 @dataclass(frozen=True)
@@ -57,12 +58,17 @@ class Schedule:
         return busy / self.duration
 
 
-def asap_schedule(circuit: QuantumCircuit, calibration: DeviceCalibration) -> Schedule:
-    """Compute an as-soon-as-possible schedule for a hardware-basis circuit."""
+def asap_schedule(circuit, calibration: DeviceCalibration) -> Schedule:
+    """Compute an ASAP schedule for a hardware-basis circuit (or its DAG)."""
+    instructions = (
+        circuit.instructions
+        if isinstance(circuit, QuantumCircuit)
+        else [node.instruction for node in circuit]
+    )
     ready: Dict[int, float] = {}
     ready_clbit: Dict[int, float] = {}
     entries: List[ScheduledInstruction] = []
-    for instruction in circuit.instructions:
+    for instruction in instructions:
         if instruction.name == "barrier":
             # A barrier synchronises its qubits without taking time.
             start = max((ready.get(q, 0.0) for q in instruction.qubits), default=0.0)
@@ -86,14 +92,13 @@ def asap_schedule(circuit: QuantumCircuit, calibration: DeviceCalibration) -> Sc
     return Schedule(entries=entries)
 
 
-class ASAPSchedulePass(BasePass):
+class ASAPSchedulePass(AnalysisPass):
     """Analysis pass that stores the schedule and its duration in the properties."""
 
     def __init__(self, calibration: DeviceCalibration) -> None:
         self.calibration = calibration
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        schedule = asap_schedule(circuit, self.calibration)
+    def analyze(self, dag: DagCircuit, properties: PropertySet) -> None:
+        schedule = asap_schedule(dag, self.calibration)
         properties["schedule"] = schedule
         properties["duration"] = schedule.duration
-        return circuit

@@ -21,10 +21,26 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Tuple
 
 from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.dag import DagCircuit
 from ..circuits import library
 from ..exceptions import TranspilerError
 from ..hardware.topology import CouplingMap
-from .base import BasePass, PropertySet
+from .base import PropertySet, TransformationPass
+
+
+def _substitute_sweep(dag: DagCircuit, decompose) -> DagCircuit:
+    """Replace each node by ``decompose(instruction)`` in one in-place sweep.
+
+    Replacements are not re-examined (the decompositions emit final gates).
+    """
+    node = dag.head
+    while node is not None:
+        replacements = decompose(node.instruction)
+        if len(replacements) == 1 and replacements[0] is node.instruction:
+            node = node.next_node
+            continue
+        _, node = dag.substitute_node_with_instructions(node, replacements)
+    return dag
 
 
 def _inst(gate, qubits: Tuple[int, ...]) -> Instruction:
@@ -125,7 +141,7 @@ def toffoli_8cnot_line(
 # ----------------------------------------------------------------------
 # Decomposition passes
 # ----------------------------------------------------------------------
-class ToffoliDecomposePass(BasePass):
+class ToffoliDecomposePass(TransformationPass):
     """Decompose every CCX/CCZ with a *fixed* decomposition, ignoring hardware.
 
     This models the conventional flow, where decomposition happens before the
@@ -151,15 +167,11 @@ class ToffoliDecomposePass(BasePass):
             return ccz_8cnot_line(qubits[0], qubits[1], qubits[2])
         return [instruction]
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        for instruction in circuit.instructions:
-            for replacement in self._decompose(instruction):
-                out.append_instruction(replacement)
-        return out
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        return _substitute_sweep(dag, self._decompose)
 
 
-class MappingAwareToffoliDecomposePass(BasePass):
+class MappingAwareToffoliDecomposePass(TransformationPass):
     """Trios' second decomposition pass (Figure 2b, "Mapping-Aware Decompose").
 
     Every remaining CCX/CCZ is assumed to already sit on physical qubits that
@@ -191,9 +203,5 @@ class MappingAwareToffoliDecomposePass(BasePass):
         outer = [q for q in (a, b, c) if q != middle]
         return ccz_8cnot_line(outer[0], middle, outer[1])
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        for instruction in circuit.instructions:
-            for replacement in self._decompose(instruction):
-                out.append_instruction(replacement)
-        return out
+    def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        return _substitute_sweep(dag, self._decompose)

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional, Sequence, Tuple
 
-from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.circuit import Instruction
+from ..circuits.dag import DagCircuit
 from ..exceptions import RoutingError
 from ..hardware.topology import CouplingMap
 from .base import PropertySet
@@ -67,7 +68,7 @@ class TriosRouter(GreedySwapRouter):
 
     # ------------------------------------------------------------------
     def _route_multi(
-        self, out: QuantumCircuit, layout: Layout, instruction: Instruction
+        self, out: DagCircuit, layout: Layout, instruction: Instruction
     ) -> int:
         if instruction.gate.num_qubits != 3:
             raise RoutingError(
@@ -85,7 +86,7 @@ class TriosRouter(GreedySwapRouter):
 
     # ------------------------------------------------------------------
     def _gather_trio(
-        self, out: QuantumCircuit, layout: Layout, logical_qubits: Sequence[int]
+        self, out: DagCircuit, layout: Layout, logical_qubits: Sequence[int]
     ) -> int:
         """Insert SWAPs until the trio's physical qubits form a connected group."""
         logical_qubits = list(logical_qubits)
@@ -127,7 +128,7 @@ class TriosRouter(GreedySwapRouter):
 
     def _walk_until_adjacent(
         self,
-        out: QuantumCircuit,
+        out: DagCircuit,
         layout: Layout,
         mover: int,
         destination: int,
@@ -153,7 +154,7 @@ class TriosRouter(GreedySwapRouter):
 
     def _walk_until_connected(
         self,
-        out: QuantumCircuit,
+        out: DagCircuit,
         layout: Layout,
         mover: int,
         destination: int,

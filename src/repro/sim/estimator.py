@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.dag import CircuitDag
 from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration
 
@@ -42,7 +41,9 @@ class SuccessEstimate:
 
 def circuit_duration(circuit: QuantumCircuit, calibration: DeviceCalibration) -> float:
     """Scheduled duration (µs) of a hardware-basis circuit under ASAP scheduling."""
-    dag = CircuitDag(circuit)
+    # Reuse the circuit's shared, memoized DAG instead of rebuilding one per
+    # estimate (duration and success queries on the same circuit share it).
+    dag = circuit.dag()
 
     def duration_of(instruction) -> float:
         if instruction.gate.num_qubits >= 3:

@@ -146,6 +146,19 @@ class TestPipelineProperties:
         circuit = QuantumCircuit(3)
         circuit.ccx(0, 1, 2)
         layout = {i: placement[i] for i in range(3)}
+        # Under deterministic routing the paper's claim holds exactly.
+        baseline = compile_baseline(
+            circuit, coupling_map, layout=layout, routing="greedy", seed=seed
+        )
+        trios = compile_trios(
+            circuit, coupling_map, layout=layout, routing="greedy", seed=seed
+        )
+        assert trios.two_qubit_gate_count <= baseline.two_qubit_gate_count
+        # Stochastic routing draws each pipeline's tied shortest paths
+        # independently, so an unlucky trios draw can trail a lucky baseline
+        # draw by up to one SWAP on adversarial placements (e.g. placement
+        # [12, 0, 16] with seed 1 gives 26 vs 24, identically on the
+        # pre-DAG-IR pipelines).
         baseline = compile_baseline(circuit, coupling_map, layout=layout, seed=seed)
         trios = compile_trios(circuit, coupling_map, layout=layout, seed=seed)
-        assert trios.two_qubit_gate_count <= baseline.two_qubit_gate_count
+        assert trios.two_qubit_gate_count <= baseline.two_qubit_gate_count + 3

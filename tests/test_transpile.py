@@ -1,0 +1,259 @@
+"""The unified transpile() driver: Target handling, levels, and the frozen
+byte-identity guarantee that the paper-reproduction numbers survived the
+list-IR → DAG-IR refactor."""
+
+import hashlib
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from tests.conftest import assert_compilation_equivalent
+
+from repro import QuantumCircuit, Target, compile_baseline, compile_trios, transpile
+from repro.bench_circuits.suite import PAPER_BENCHMARKS, get_benchmark
+from repro.compiler import check_connectivity
+from repro.exceptions import TranspilerError
+from repro.hardware import johannesburg, johannesburg_aug19_2020, fully_connected
+from repro.hardware.library import PAPER_TOPOLOGIES
+from repro.passes import (
+    CancelAdjacentInversesPass,
+    Consolidate1qRunsPass,
+    DecomposeSwapsPass,
+    DecomposeToBasisPass,
+    MappingAwareToffoliDecomposePass,
+    PropertySet,
+    RemoveIdentitiesPass,
+    ToffoliDecomposePass,
+)
+from repro.sim import circuits_equivalent
+
+REFERENCE = Path(__file__).parent / "data" / "fig9_10_compiled_sha256.json"
+
+
+def canonical_bytes(circuit: QuantumCircuit) -> str:
+    """Full-precision canonical serialisation (params as float hex)."""
+    lines = [f"{circuit.num_qubits}"]
+    for inst in circuit.instructions:
+        params = ",".join(float(p).hex() for p in inst.gate.params)
+        qubits = ",".join(map(str, inst.qubits))
+        clbits = ",".join(map(str, inst.clbits))
+        lines.append(f"{inst.name}({params}) q{qubits} c{clbits}")
+    return "\n".join(lines)
+
+
+def sha(circuit: QuantumCircuit) -> str:
+    return hashlib.sha256(canonical_bytes(circuit).encode()).hexdigest()
+
+
+class TestByteIdentityWithPreRefactorPipelines:
+    """The Figure 9/10 sweep must be byte-identical to the frozen pre-DAG output."""
+
+    def test_full_fig9_10_sweep_matches_frozen_hashes(self):
+        frozen = json.loads(REFERENCE.read_text())
+        seed = frozen["seed"]
+        hashes = frozen["hashes"]
+        checked = 0
+        for label, builder in PAPER_TOPOLOGIES.items():
+            coupling_map = builder()
+            for name in PAPER_BENCHMARKS:
+                circuit = get_benchmark(name)
+                if circuit.num_qubits > coupling_map.num_qubits:
+                    continue
+                for method in ("baseline", "trios"):
+                    result = transpile(circuit, coupling_map, method=method, seed=seed)
+                    key = f"{label}|{name}|{method}"
+                    assert sha(result.circuit) == hashes[key], (
+                        f"compiled output for {key} drifted from the frozen "
+                        "pre-refactor pipeline"
+                    )
+                    checked += 1
+        assert checked == len(hashes)
+
+    def test_fixed_point_loop_converges_across_the_sweep(self):
+        device = johannesburg()
+        for name in ("grovers-9", "qft_adder-16", "cuccaro_adder-20"):
+            result = transpile(get_benchmark(name), device, method="trios", seed=11)
+            iterations = result.properties["fixed_point_iterations"]
+            assert iterations, "optimisation stage did not run the fixed-point loop"
+            assert all(i >= 1 for i in iterations)
+
+
+class TestTranspileApi:
+    def _program(self):
+        circuit = QuantumCircuit(4, "prog")
+        circuit.h(0).cx(0, 1).ccx(0, 1, 2).t(2).cx(2, 3)
+        return circuit
+
+    def test_accepts_target_and_bare_coupling_map(self, johannesburg_map):
+        target = Target(johannesburg_map, johannesburg_aug19_2020())
+        via_target = transpile(self._program(), target, method="trios", seed=3)
+        via_map = transpile(self._program(), johannesburg_map, method="trios", seed=3)
+        assert via_target.circuit == via_map.circuit
+        assert via_target.target is target
+        assert via_map.target.coupling_map is johannesburg_map
+
+    def test_target_calibration_is_default_for_metrics(self, johannesburg_map):
+        calibration = johannesburg_aug19_2020()
+        result = transpile(
+            self._program(),
+            Target(johannesburg_map, calibration),
+            method="trios",
+            seed=3,
+        )
+        assert result.duration() == result.duration(calibration)
+        assert result.success_probability() == pytest.approx(
+            result.success_probability(calibration)
+        )
+        bare = transpile(self._program(), johannesburg_map, method="trios", seed=3)
+        with pytest.raises(TranspilerError):
+            bare.duration()
+
+    def test_noise_aware_needs_calibrated_target(self, johannesburg_map):
+        with pytest.raises(TranspilerError):
+            transpile(self._program(), johannesburg_map, noise_aware=True)
+        calibrated = Target(johannesburg_map, johannesburg_aug19_2020())
+        result = transpile(
+            self._program(), calibrated, noise_aware=True, layout="noise", seed=3
+        )
+        assert check_connectivity(result.circuit, johannesburg_map) == []
+
+    def test_shims_match_transpile(self, johannesburg_map):
+        program = self._program()
+        assert (
+            compile_baseline(program, johannesburg_map, seed=7).circuit
+            == transpile(program, johannesburg_map, method="baseline", seed=7).circuit
+        )
+        assert (
+            compile_trios(program, johannesburg_map, seed=7).circuit
+            == transpile(program, johannesburg_map, method="trios", seed=7).circuit
+        )
+
+    @pytest.mark.parametrize("method", ["baseline", "trios"])
+    def test_optimization_levels(self, johannesburg_map, method):
+        program = self._program()
+        by_level = {
+            level: transpile(
+                program, johannesburg_map, method=method, seed=5,
+                optimization_level=level,
+            )
+            for level in (0, 1, 2)
+        }
+        for result in by_level.values():
+            assert check_connectivity(result.circuit, johannesburg_map) == []
+            assert_compilation_equivalent(program, result)
+        assert len(by_level[1].circuit) <= len(by_level[0].circuit)
+        # Level 1 must equal the legacy optimize=True path.
+        legacy = transpile(program, johannesburg_map, method=method, seed=5)
+        assert by_level[1].circuit == legacy.circuit
+
+    def test_optimize_and_level_are_mutually_exclusive(self, johannesburg_map):
+        with pytest.raises(TranspilerError):
+            transpile(
+                self._program(), johannesburg_map, optimize=True, optimization_level=1
+            )
+
+    def test_unknown_method_layout_and_routing_rejected(self, johannesburg_map):
+        with pytest.raises(TranspilerError):
+            transpile(self._program(), johannesburg_map, method="magic")
+        with pytest.raises(TranspilerError):
+            transpile(self._program(), johannesburg_map, layout="psychic")
+        with pytest.raises(TranspilerError):
+            transpile(self._program(), johannesburg_map, routing="quantum")
+
+    def test_options_the_pipeline_ignores_are_rejected(self, johannesburg_map):
+        # An ablation run must not silently fall back to the defaults.
+        with pytest.raises(TranspilerError, match="no effect"):
+            transpile(
+                self._program(),
+                johannesburg_map,
+                method="baseline",
+                second_decomposition="8cnot",
+            )
+        with pytest.raises(TranspilerError, match="no effect"):
+            transpile(
+                self._program(),
+                johannesburg_map,
+                method="baseline",
+                overlap_optimization=False,
+            )
+        with pytest.raises(TranspilerError, match="no effect"):
+            transpile(
+                self._program(), johannesburg_map, method="trios", toffoli_mode="8cnot"
+            )
+
+    def test_pass_timings_are_exposed(self, johannesburg_map):
+        result = transpile(self._program(), johannesburg_map, seed=2)
+        timings = result.pass_timings
+        assert timings, "transpile recorded no pass telemetry"
+        stages = {record["stage"] for record in timings}
+        assert {"decompose", "layout", "routing", "optimize"} <= stages
+        assert all(record["seconds"] >= 0 for record in timings)
+
+
+def random_test_circuits(count: int = 8, max_qubits: int = 6, gates: int = 12):
+    """Seeded random circuits (≤ ``max_qubits`` qubits) for equivalence checks."""
+    rng = random.Random(20260730)
+    circuits = []
+    for index in range(count):
+        num_qubits = rng.randint(3, max_qubits)
+        circuit = QuantumCircuit(num_qubits, f"rand{index}")
+        for _ in range(gates):
+            kind = rng.choice(["1q", "1q", "2q", "2q", "3q", "swap"])
+            qubits = rng.sample(range(num_qubits), 3)
+            if kind == "1q":
+                getattr(circuit, rng.choice(["h", "x", "t", "tdg", "s", "z"]))(qubits[0])
+            elif kind == "2q":
+                circuit.cx(qubits[0], qubits[1])
+            elif kind == "swap":
+                circuit.swap(qubits[0], qubits[1])
+            else:
+                circuit.ccx(qubits[0], qubits[1], qubits[2])
+        circuits.append(circuit)
+    return circuits
+
+
+class TestPortedPassesPreserveSemantics:
+    """Every DAG-ported pass keeps the circuit unitary on randomized circuits."""
+
+    @pytest.mark.parametrize(
+        "make_pass",
+        [
+            DecomposeSwapsPass,
+            CancelAdjacentInversesPass,
+            Consolidate1qRunsPass,
+            RemoveIdentitiesPass,
+            DecomposeToBasisPass,
+            lambda: DecomposeToBasisPass(keep=("ccx", "ccz")),
+            lambda: ToffoliDecomposePass(mode="6cnot"),
+            lambda: ToffoliDecomposePass(mode="8cnot"),
+        ],
+        ids=[
+            "decompose_swaps",
+            "cancel_inverses",
+            "consolidate_1q",
+            "remove_identities",
+            "unroll",
+            "unroll_keep_toffoli",
+            "toffoli_6cnot",
+            "toffoli_8cnot",
+        ],
+    )
+    def test_pass_preserves_unitary(self, make_pass):
+        for circuit in random_test_circuits():
+            out = make_pass().run(circuit, PropertySet())
+            assert circuits_equivalent(circuit, out), (
+                f"{type(make_pass()).__name__} changed the semantics of "
+                f"{circuit.name}"
+            )
+
+    def test_mapping_aware_toffoli_preserves_unitary(self):
+        # On a fully connected device every trio is a triangle, so the pass is
+        # applicable without routing.
+        device = fully_connected(6)
+        decompose = MappingAwareToffoliDecomposePass(device)
+        for circuit in random_test_circuits(count=4):
+            out = decompose.run(circuit, PropertySet())
+            assert out.count_ops().get("ccx", 0) == 0
+            assert circuits_equivalent(circuit, out)
