@@ -1,0 +1,67 @@
+"""Exact vs sampled: the density-matrix backend against the shot samplers.
+
+Compiles a single distant Toffoli with the baseline and Trios pipelines onto
+IBM Johannesburg, then evaluates the |111⟩ success probability three ways:
+
+* ``density`` / exact — the analytic probability from the density-matrix
+  backend (zero shot variance, one number per circuit);
+* ``trajectory`` — the stochastic-Pauli Monte Carlo at 2048 shots, with its
+  ±1σ shot-noise band;
+* ``failure`` — the paper's fast gate-failure model at 2048 shots.
+
+The trajectory sampler draws from exactly the distribution the density
+backend computes (both read their channels from ``repro.sim.channels``), so
+its estimate lands inside the shot-noise band around the exact value.
+
+Run with:  PYTHONPATH=src python examples/exact_vs_sampled.py
+"""
+
+import math
+
+from repro.experiments.toffoli import compile_configuration
+from repro.hardware import johannesburg, johannesburg_aug19_2020
+from repro.sim import get_backend
+
+SHOTS = 2048
+TRIPLET = (2, 6, 10)  # a distance-10 placement that forces routing
+
+
+def main() -> None:
+    device = johannesburg()
+    calibration = johannesburg_aug19_2020()
+    placement = {0: TRIPLET[0], 1: TRIPLET[1], 2: TRIPLET[2]}
+    print(f"Toffoli on physical qubits {TRIPLET} of {device.name}, "
+          f"{calibration.name} error rates\n")
+
+    header = (f"{'configuration':26s} {'CNOTs':>6s} {'exact':>8s} "
+              f"{'trajectory':>16s} {'failure':>10s}")
+    print(header)
+    print("-" * len(header))
+    for configuration in ("Qiskit (baseline)", "Trios (8-CNOT Toffoli)"):
+        compiled = compile_configuration(configuration, device, placement, seed=7)
+        circuit = compiled.circuit.without(["measure"])
+        measured = compiled.physical_qubits_of([0, 1, 2])
+
+        density = get_backend("density", calibration)
+        p_exact = density.run_probabilities(circuit, measured_qubits=measured)
+        exact = p_exact.get("111", 0.0)
+        sigma = math.sqrt(exact * (1 - exact) / SHOTS)
+
+        sampled = {}
+        for name in ("trajectory", "failure"):
+            backend = get_backend(name, calibration, seed=1)
+            counts = backend.run_counts(circuit, shots=SHOTS,
+                                        measured_qubits=measured)
+            sampled[name] = counts.success_rate("111")
+
+        trajectory = (f"{sampled['trajectory']:.4f} ±{sigma:.4f}")
+        print(f"{configuration:26s} {compiled.two_qubit_gate_count:>6d} "
+              f"{exact:>8.4f} {trajectory:>16s} {sampled['failure']:>10.4f}")
+
+    print("\nThe exact column has no shot noise: re-running reproduces it to "
+          "machine precision,\nwhile each sampled column moves by about its "
+          "±1σ band per reseed.")
+
+
+if __name__ == "__main__":
+    main()

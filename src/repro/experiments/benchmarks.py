@@ -35,7 +35,12 @@ from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, near_term_calibration
 from ..hardware.library import PAPER_TOPOLOGIES
 from ..hardware.topology import CouplingMap
-from ..sim import StatevectorSimulator, get_backend
+from ..sim import (
+    EXACT_PROBABILITY_BACKENDS,
+    StatevectorSimulator,
+    get_backend,
+    supports_exact_probabilities,
+)
 from .stats import geometric_mean, percent_reduction
 
 
@@ -175,6 +180,20 @@ def ideal_expected_outcome(logical: QuantumCircuit) -> str:
     return max(ideal, key=ideal.get)
 
 
+def require_exact_capable_backend(backend: str) -> None:
+    """Reject ``exact=True`` with a backend that has no analytic distribution.
+
+    Validates the *name* against :data:`repro.sim.EXACT_PROBABILITY_BACKENDS`
+    so the sweeps (and the Toffoli driver) fail up front — before any
+    compilation or process-pool fan-out — instead of erroring per cell.
+    """
+    if backend.lower() not in EXACT_PROBABILITY_BACKENDS:
+        raise ReproError(
+            f"exact=True requires a backend with analytic run_probabilities "
+            f"({', '.join(EXACT_PROBABILITY_BACKENDS)}); got {backend!r}"
+        )
+
+
 def sampled_success(
     compiled: CompilationResult,
     logical: QuantumCircuit,
@@ -183,20 +202,32 @@ def sampled_success(
     shots: int,
     seed: int,
     expected: Optional[str] = None,
+    exact: bool = False,
 ) -> float:
     """Success rate of a compiled circuit under a shot-level backend.
 
     ``expected`` is the ideal outcome from :func:`ideal_expected_outcome`;
     it is computed on the fly when omitted, but callers evaluating the same
-    logical circuit repeatedly should hoist it.
+    logical circuit repeatedly should hoist it.  With ``exact=True`` the
+    backend's analytic ``run_probabilities`` replaces shot sampling, so the
+    returned probability carries zero shot variance (requires a
+    probability-capable backend such as ``"density"``).
     """
     if expected is None:
         expected = ideal_expected_outcome(logical)
     measured = compiled.physical_qubits_of(list(range(logical.num_qubits)))
     engine = get_backend(backend, calibration, seed=seed)
-    result = engine.run_counts(
-        compiled.circuit.without(["measure"]), shots, measured_qubits=measured
-    )
+    circuit = compiled.circuit.without(["measure"])
+    if exact:
+        if not supports_exact_probabilities(engine):
+            raise ReproError(
+                f"backend {backend!r} cannot produce exact probabilities; "
+                "use 'density' (noisy) or 'ideal' (noiseless)"
+            )
+        return engine.run_probabilities(circuit, measured_qubits=measured).get(
+            expected, 0.0
+        )
+    result = engine.run_counts(circuit, shots, measured_qubits=measured)
     return result.success_rate(expected)
 
 
@@ -209,6 +240,7 @@ def compare_benchmark(
     shots: int = 2048,
     expected: Optional[str] = None,
     circuit: Optional[QuantumCircuit] = None,
+    exact: bool = False,
 ) -> BenchmarkComparison:
     """Compile one benchmark with both pipelines and evaluate its success.
 
@@ -220,16 +252,21 @@ def compare_benchmark(
         backend: ``"analytic"`` evaluates the paper's closed-form success
             model (§2.6, the default); any registered
             :class:`~repro.sim.SimulationBackend` name (``"failure"``,
-            ``"trajectory"``, ``"ideal"``) instead *samples* the compiled
-            circuits for ``shots`` shots.
+            ``"trajectory"``, ``"density"``, ``"ideal"``) instead *samples*
+            the compiled circuits for ``shots`` shots.
         shots: Shots per circuit when a sampling backend is selected.
         expected: Precomputed :func:`ideal_expected_outcome` for sampling
             backends; computed on the fly when omitted.
         circuit: Already-built instance of the benchmark, so sweep callers
             construct each logical circuit once instead of once per cell.
+        exact: Evaluate analytic success probabilities via the backend's
+            ``run_probabilities`` (zero shot variance) instead of sampling;
+            requires a probability-capable backend such as ``"density"``.
     """
     if circuit is None:
         circuit = get_benchmark(benchmark)
+    if exact:
+        require_exact_capable_backend(backend)
     baseline = compile_benchmark_cached(benchmark, coupling_map, "baseline", seed, circuit)
     # Same routing policy and seed as the baseline so that Toffoli-free
     # circuits compile identically (the paper's "no effect" control).
@@ -241,10 +278,12 @@ def compare_benchmark(
         if expected is None:
             expected = ideal_expected_outcome(circuit)
         baseline_success = sampled_success(
-            baseline, circuit, backend, calibration, shots, seed, expected
+            baseline, circuit, backend, calibration, shots, seed, expected,
+            exact=exact,
         )
         trios_success = sampled_success(
-            trios, circuit, backend, calibration, shots, seed, expected
+            trios, circuit, backend, calibration, shots, seed, expected,
+            exact=exact,
         )
     return BenchmarkComparison(
         benchmark=benchmark,
@@ -262,15 +301,16 @@ def compare_benchmark(
 
 def _benchmark_cell(
     payload: Tuple[str, CouplingMap, str, QuantumCircuit, DeviceCalibration,
-                   int, str, int, Optional[str]],
+                   int, str, int, Optional[str], bool],
 ) -> Tuple[str, str, Optional[BenchmarkComparison]]:
     """Evaluate one (topology, benchmark) cell; process-pool entry point."""
     (label, coupling_map, benchmark, circuit, calibration, seed, backend,
-     shots, expected) = payload
+     shots, expected, exact) = payload
     try:
         comparison = compare_benchmark(
             benchmark, coupling_map, calibration, seed,
             backend=backend, shots=shots, expected=expected, circuit=circuit,
+            exact=exact,
         )
     except SimulationError as exc:
         # The selected sampling backend cannot simulate this compiled
@@ -306,6 +346,7 @@ def run_benchmark_experiment(
     backend: str = "analytic",
     shots: int = 2048,
     jobs: int = 1,
+    exact: bool = False,
 ) -> BenchmarkExperimentResult:
     """Run the full Figures 9-11 sweep.
 
@@ -319,11 +360,17 @@ def run_benchmark_experiment(
             :class:`~repro.sim.SimulationBackend` name to sample shot counts.
         shots: Shots per circuit when a sampling backend is selected.
         jobs: Worker processes for the (topology, benchmark) cells; ``1``
-            (the default) runs serially.  Results are identical either way.
+            (the default) runs serially.  Results are identical either way
+            (the exact backend's channels and simulator pickle cleanly).
+        exact: Record the backend's analytic success probabilities instead
+            of sampled frequencies (zero shot variance); requires a
+            probability-capable backend such as ``"density"``.
     """
     topologies = topologies or PAPER_TOPOLOGIES
     calibration = calibration or near_term_calibration()
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
+    if exact:
+        require_exact_capable_backend(backend)
     result = BenchmarkExperimentResult(calibration_name=calibration.name)
     # Build each topology and each logical circuit exactly once per sweep.
     built = {label: builder() for label, builder in topologies.items()}
@@ -346,7 +393,7 @@ def run_benchmark_experiment(
                 expected = expected_cache[benchmark]
             payloads.append(
                 (label, coupling_map, benchmark, circuits[benchmark],
-                 calibration, seed, backend, shots, expected)
+                 calibration, seed, backend, shots, expected, exact)
             )
     for label, benchmark, comparison in run_experiment_cells(
         payloads, _benchmark_cell, jobs

@@ -2,14 +2,19 @@
 
 Usage (after ``pip install -e .``)::
 
+    python -m repro --list-backends
     python -m repro table1
     python -m repro toffoli --triplets 35 --shots 2048
-    python -m repro benchmarks
-    python -m repro sensitivity
+    python -m repro toffoli --exact                 # analytic, shot-free
+    python -m repro benchmarks --backend density
+    python -m repro sensitivity --exact --jobs 4
+    python -m repro compile grovers-9 --pipeline trios
     python -m repro all
 
 Each subcommand prints the corresponding table/figure data as plain text (the
 same formatting used by the pytest-benchmark harness under ``benchmarks/``).
+``--exact`` switches the success metric from sampled frequencies to the
+density-matrix backend's analytic probabilities (zero shot variance).
 """
 
 from __future__ import annotations
@@ -19,6 +24,11 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..bench_circuits import all_benchmark_statistics
+from ..bench_circuits.suite import get_benchmark
+from ..compiler.pipeline import PIPELINES, transpile
+from ..hardware.calibration import near_term_calibration
+from ..hardware.library import PAPER_TOPOLOGIES, by_name
+from ..sim import BACKEND_DESCRIPTIONS, BACKEND_NAMES, EXACT_PROBABILITY_BACKENDS
 from .benchmarks import run_benchmark_experiment
 from .report import (
     format_benchmark_normalized,
@@ -34,15 +44,36 @@ from .report import (
 from .sensitivity import run_sensitivity_experiment
 from .toffoli import run_toffoli_experiment
 
+def _resolve_exact_backend(backend: str, exact: bool) -> str:
+    """Pick the backend that serves ``--exact``.
+
+    ``--exact`` needs a backend with analytic ``run_probabilities``
+    (:data:`repro.sim.EXACT_PROBABILITY_BACKENDS`); when the selected one
+    cannot provide it — including the ``analytic`` closed-form model and the
+    shot samplers — the density-matrix backend is substituted, with a printed
+    note so the swap is never silent.
+    """
+    if not exact or backend in EXACT_PROBABILITY_BACKENDS:
+        return backend
+    print(f"note: --exact needs analytic probabilities; using the 'density' "
+          f"backend instead of {backend!r}\n")
+    return "density"
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of the Orchestrated Trios paper.",
     )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--list-backends", action="store_true",
+                        help="list the registered simulation backends and exit")
+    subparsers = parser.add_subparsers(dest="command")
 
     subparsers.add_parser("table1", help="Table 1: benchmark inventory")
+
+    exact_help = ("record analytic success probabilities (zero shot variance) "
+                  "instead of sampled frequencies; implies the density-matrix "
+                  "backend unless an exact-capable one is selected")
 
     toffoli = subparsers.add_parser(
         "toffoli", help="Figures 6-8: single-Toffoli experiment on Johannesburg"
@@ -53,8 +84,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="shots per compiled circuit (default 2048)")
     toffoli.add_argument("--seed", type=int, default=0, help="random seed")
     toffoli.add_argument("--sampler", default="failure",
-                         choices=["failure", "trajectory", "ideal"],
+                         choices=list(BACKEND_NAMES),
                          help="simulation backend (default: failure)")
+    toffoli.add_argument("--exact", action="store_true", help=exact_help)
     toffoli.add_argument("--profile-passes", action="store_true",
                          help="print the per-pass time / gate-delta table")
 
@@ -63,10 +95,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     benchmarks.add_argument("--seed", type=int, default=11, help="routing seed")
     benchmarks.add_argument("--backend", default="analytic",
-                            choices=["analytic", "failure", "trajectory", "ideal"],
-                            help="success model: analytic (paper) or a sampler")
+                            choices=["analytic", *BACKEND_NAMES],
+                            help="success model: analytic (paper) or a simulator")
     benchmarks.add_argument("--shots", type=int, default=2048,
                             help="shots per circuit for sampling backends")
+    benchmarks.add_argument("--exact", action="store_true", help=exact_help)
     benchmarks.add_argument("--jobs", type=int, default=1,
                             help="worker processes for the sweep cells "
                                  "(default 1 = serial; results are identical)")
@@ -86,15 +119,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="error-rate improvement factors",
     )
     sensitivity.add_argument("--backend", default="analytic",
-                             choices=["analytic", "failure", "trajectory", "ideal"],
-                             help="success model: analytic (paper) or a sampler")
+                             choices=["analytic", *BACKEND_NAMES],
+                             help="success model: analytic (paper) or a simulator")
     sensitivity.add_argument("--shots", type=int, default=2048,
                              help="shots per circuit for sampling backends")
+    sensitivity.add_argument("--exact", action="store_true", help=exact_help)
     sensitivity.add_argument("--jobs", type=int, default=1,
                              help="worker processes for the per-benchmark "
                                   "curves (default 1 = serial)")
     sensitivity.add_argument("--profile-passes", action="store_true",
                              help="print the per-pass time / gate-delta table")
+
+    compile_cmd = subparsers.add_parser(
+        "compile",
+        help="transpile one Table 1 benchmark with a named pipeline",
+    )
+    compile_cmd.add_argument("benchmark",
+                             help="Table 1 benchmark label, e.g. grovers-9")
+    compile_cmd.add_argument("--pipeline", default="trios",
+                             choices=sorted(PIPELINES),
+                             help="named pipeline from "
+                                  "repro.compiler.pipeline.PIPELINES "
+                                  "(default: trios)")
+    compile_cmd.add_argument("--topology", default="ibmq-johannesburg",
+                             choices=sorted(PAPER_TOPOLOGIES),
+                             help="target device topology")
+    compile_cmd.add_argument("--seed", type=int, default=11, help="routing seed")
+    compile_cmd.add_argument("--optimization-level", type=int, default=1,
+                             choices=[0, 1, 2], help="transpile() level")
 
     subparsers.add_parser("all", help="Run everything (may take a minute)")
     return parser
@@ -110,15 +162,23 @@ def _print_pass_profile(result) -> None:
     print(format_pass_profile(result.all_pass_timings()))
 
 
+def _list_backends() -> None:
+    print("Registered simulation backends (repro.sim.get_backend):\n")
+    for name in BACKEND_NAMES:
+        print(f"  {name:12s} {BACKEND_DESCRIPTIONS[name]}")
+
+
 def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure",
-                 profile_passes: bool = False) -> None:
+                 exact: bool = False, profile_passes: bool = False) -> None:
+    sampler = _resolve_exact_backend(sampler, exact)
     result = run_toffoli_experiment(num_triplets=triplets, shots=shots, seed=seed,
-                                    sampler=sampler)
+                                    sampler=sampler, exact=exact)
+    note = " (exact probabilities, zero shot variance)" if exact else ""
     print("[Figure 7] CNOT gate counts\n")
     print(format_toffoli_gate_counts(result))
-    print("\n[Figure 6] Success probabilities\n")
+    print(f"\n[Figure 6] Success probabilities{note}\n")
     print(format_toffoli_success(result))
-    print("\n[Figure 8] Success normalised to the baseline\n")
+    print(f"\n[Figure 8] Success normalised to the baseline{note}\n")
     print(format_toffoli_normalized(result))
     print(f"\nGeomean gate reduction: {result.gate_reduction() * 100:.1f}% (paper: 35%)")
     print(f"Geomean success increase: {(result.geomean_improvement() - 1) * 100:.1f}% "
@@ -129,45 +189,76 @@ def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure",
 
 def _run_benchmarks(seed: int, backend: str = "analytic", shots: int = 2048,
                     jobs: int = 1, benchmarks: Optional[Sequence[str]] = None,
-                    profile_passes: bool = False) -> None:
+                    exact: bool = False, profile_passes: bool = False) -> None:
+    backend = _resolve_exact_backend(backend, exact)
     result = run_benchmark_experiment(seed=seed, backend=backend, shots=shots,
-                                      jobs=jobs, benchmarks=benchmarks)
-    print("[Figure 9] Simulated success probabilities\n")
+                                      jobs=jobs, benchmarks=benchmarks,
+                                      exact=exact)
+    note = " (exact probabilities, zero shot variance)" if exact else ""
+    print(f"[Figure 9] Simulated success probabilities{note}\n")
     print(format_benchmark_success(result))
     print("[Figure 10] CNOT reduction\n")
     print(format_benchmark_reduction(result))
-    print("\n[Figure 11] Success normalised to the baseline\n")
+    print(f"\n[Figure 11] Success normalised to the baseline{note}\n")
     print(format_benchmark_normalized(result))
     if profile_passes:
         _print_pass_profile(result)
 
 
 def _run_sensitivity(factors: Sequence[float], backend: str = "analytic",
-                     shots: int = 2048, jobs: int = 1,
+                     shots: int = 2048, jobs: int = 1, exact: bool = False,
                      profile_passes: bool = False) -> None:
+    backend = _resolve_exact_backend(backend, exact)
     result = run_sensitivity_experiment(factors=list(factors), backend=backend,
-                                        shots=shots, jobs=jobs)
-    print("[Figure 12] p_trios / p_baseline vs error-rate improvement\n")
+                                        shots=shots, jobs=jobs, exact=exact)
+    note = " (exact probabilities)" if exact else ""
+    print(f"[Figure 12] p_trios / p_baseline vs error-rate improvement{note}\n")
     print(format_sensitivity(result))
     if profile_passes:
         _print_pass_profile(result)
 
 
+def _run_compile(benchmark: str, pipeline: str, topology: str, seed: int,
+                 optimization_level: int) -> None:
+    circuit = get_benchmark(benchmark)
+    coupling_map = by_name(topology)
+    compiled = transpile(circuit, coupling_map, method=pipeline, seed=seed,
+                         optimization_level=optimization_level)
+    calibration = near_term_calibration()
+    print(f"[compile] {benchmark} with the {pipeline!r} pipeline "
+          f"on {topology} (seed {seed}, O{optimization_level})\n")
+    print(f"  qubits (logical):      {circuit.num_qubits}")
+    print(f"  CNOTs:                 {compiled.two_qubit_gate_count}")
+    print(f"  depth:                 {compiled.depth}")
+    print(f"  SWAPs inserted:        {compiled.swaps_inserted}")
+    print(f"  duration:              {compiled.duration(calibration):.3f} us")
+    print(f"  analytic success (20x): {compiled.success_probability(calibration):.4f}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_backends:
+        _list_backends()
+        return 0
+    if args.command is None:
+        parser.error("a subcommand is required (or --list-backends)")
     if args.command == "table1":
         _run_table1()
     elif args.command == "toffoli":
         _run_toffoli(args.triplets, args.shots, args.seed, args.sampler,
-                     profile_passes=args.profile_passes)
+                     exact=args.exact, profile_passes=args.profile_passes)
     elif args.command == "benchmarks":
         _run_benchmarks(args.seed, args.backend, args.shots, args.jobs,
-                        benchmarks=args.benchmarks,
+                        benchmarks=args.benchmarks, exact=args.exact,
                         profile_passes=args.profile_passes)
     elif args.command == "sensitivity":
         _run_sensitivity(args.factors, args.backend, args.shots, args.jobs,
-                         profile_passes=args.profile_passes)
+                         exact=args.exact, profile_passes=args.profile_passes)
+    elif args.command == "compile":
+        _run_compile(args.benchmark, args.pipeline, args.topology, args.seed,
+                     args.optimization_level)
     elif args.command == "all":
         _run_table1()
         print("\n")

@@ -24,6 +24,7 @@ from ..hardware.topology import CouplingMap
 from .benchmarks import (
     compile_benchmark_cached,
     ideal_expected_outcome,
+    require_exact_capable_backend,
     run_experiment_cells,
     sampled_success,
 )
@@ -73,7 +74,7 @@ def _sensitivity_cell(
 ) -> "Optional[SensitivityCurve]":
     """Evaluate one benchmark's whole curve; process-pool entry point."""
     (benchmark, coupling_map, base_calibration, factors, seed, backend,
-     shots) = payload
+     shots, exact) = payload
     circuit = get_benchmark(benchmark)
     # The circuits are compiled once — only the error model changes — and the
     # compilation is shared with the Figures 9-11 sweep via the compile cache.
@@ -87,6 +88,17 @@ def _sensitivity_cell(
             if backend == "analytic":
                 base_p = baseline.success_probability(calibration)
                 trios_p = trios.success_probability(calibration)
+            elif exact:
+                # Analytic probabilities carry no shot noise, so no floor is
+                # needed: a true zero stays zero (handled below).
+                base_p = sampled_success(
+                    baseline, circuit, backend, calibration, shots, seed,
+                    expected, exact=True,
+                )
+                trios_p = sampled_success(
+                    trios, circuit, backend, calibration, shots, seed,
+                    expected, exact=True,
+                )
             else:
                 # Floor at half a shot so a deep circuit that happens to
                 # score zero matches in a finite sample yields a large but
@@ -125,6 +137,7 @@ def run_sensitivity_experiment(
     backend: str = "analytic",
     shots: int = 2048,
     jobs: int = 1,
+    exact: bool = False,
 ) -> SensitivityResult:
     """Reproduce Figure 12 on the Johannesburg topology.
 
@@ -141,18 +154,24 @@ def run_sensitivity_experiment(
         shots: Shots per circuit when a sampling backend is selected.
         jobs: Worker processes for the per-benchmark curves; ``1`` (the
             default) runs serially.  Results are identical either way.
+        exact: Evaluate analytic success probabilities via the backend's
+            ``run_probabilities`` (zero shot variance, no shot-noise floor);
+            requires a probability-capable backend such as ``"density"``.
     """
     coupling_map = coupling_map or johannesburg()
     base_calibration = base_calibration or johannesburg_aug19_2020()
     benchmarks = list(benchmarks or TOFFOLI_BENCHMARKS)
     factors = list(factors or default_factors())
+    if exact:
+        require_exact_capable_backend(backend)
     result = SensitivityResult(device=coupling_map.name, factors=list(factors))
     fitting = [
         name for name in benchmarks
         if get_benchmark(name).num_qubits <= coupling_map.num_qubits
     ]
     payloads = [
-        (name, coupling_map, base_calibration, list(factors), seed, backend, shots)
+        (name, coupling_map, base_calibration, list(factors), seed, backend,
+         shots, exact)
         for name in fitting
     ]
     for name, curve in zip(

@@ -18,17 +18,19 @@ and executed on the noisy-hardware substitute with the controls prepared in
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..compiler.pipeline import compile_baseline, compile_trios
 from ..compiler.result import CompilationResult
-from ..exceptions import ReproError
+from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
 from ..hardware.topology import CouplingMap
 from ..hardware.library import johannesburg
 from ..sim import get_backend
+from .benchmarks import require_exact_capable_backend
 from .stats import geometric_mean
 
 #: The four compiler configurations of Figures 6 and 7, in plot order.
@@ -105,6 +107,9 @@ class ToffoliExperimentResult:
 
     device: str
     shots: int
+    #: True when the success rates are analytic probabilities from an exact
+    #: backend (zero shot variance) rather than sampled frequencies.
+    exact: bool = False
     rows: List[TripletResult] = field(default_factory=list)
 
     def geomean_cnots(self, configuration: str) -> float:
@@ -153,6 +158,7 @@ def run_toffoli_experiment(
     shots: int = 1024,
     seed: int = 0,
     sampler: str = "failure",
+    exact: bool = False,
 ) -> ToffoliExperimentResult:
     """Run the §5.1 experiment on the noisy-hardware substitute.
 
@@ -162,38 +168,80 @@ def run_toffoli_experiment(
         triplets: Explicit qubit triplets; random ones are drawn if omitted.
         num_triplets: How many random triplets to draw (35 in Figure 6/7,
             99 in Figure 8).
-        shots: Shots per compiled circuit (the paper uses 8192 on hardware).
+        shots: Shots per compiled circuit (the paper uses 8192 on hardware);
+            ignored when ``exact`` is set.
         seed: Seed for triplet sampling, stochastic routing and the sampler.
         sampler: Name of a registered :class:`~repro.sim.SimulationBackend` —
             ``"failure"`` for the fast gate-failure model, ``"trajectory"``
-            for the stochastic-Pauli Monte Carlo (slower, more detailed), or
-            ``"ideal"`` for a noiseless control run.
+            for the stochastic-Pauli Monte Carlo (slower, more detailed),
+            ``"density"`` for exact density-matrix evolution, or ``"ideal"``
+            for a noiseless control run.
+        exact: Record the backend's *analytic* |111⟩ probability
+            (``run_probabilities``) instead of a sampled frequency — zero
+            shot variance.  Requires a probability-capable backend
+            (``"density"`` or ``"ideal"``).
+
+    Triplets whose compiled circuits the selected backend cannot simulate
+    (e.g. too many active qubits for the dense density matrix) are skipped
+    with a warning rather than aborting the sweep.  NOTE: with the
+    ``"density"`` backend these are precisely the *distant* placements, so
+    the aggregate geomeans then cover only the simulable subset — compare
+    like with like (pass explicit ``triplets``, or raise the backend's
+    ``max_active_qubits``) before quoting them against a sampled run.  A
+    :class:`~repro.exceptions.ReproError` is raised if every triplet was
+    skipped.
     """
     coupling_map = coupling_map or johannesburg()
     calibration = calibration or johannesburg_aug19_2020()
+    if exact:
+        require_exact_capable_backend(sampler)
     if triplets is None:
         triplets = random_triplets(coupling_map, num_triplets, seed)
-    result = ToffoliExperimentResult(device=coupling_map.name, shots=shots)
+    result = ToffoliExperimentResult(
+        device=coupling_map.name, shots=shots, exact=exact
+    )
     for index, triplet in enumerate(triplets):
         placement = {0: triplet[0], 1: triplet[1], 2: triplet[2]}
         row = TripletResult(
             triplet=tuple(triplet),
             total_distance=coupling_map.total_distance(triplet),
         )
-        for configuration in CONFIGURATIONS:
-            compiled = compile_configuration(
-                configuration, coupling_map, placement, seed=seed + index
+        try:
+            for configuration in CONFIGURATIONS:
+                compiled = compile_configuration(
+                    configuration, coupling_map, placement, seed=seed + index
+                )
+                row.cnot_counts[configuration] = compiled.two_qubit_gate_count
+                row.pass_timings[configuration] = compiled.pass_timings
+                measured = compiled.physical_qubits_of([0, 1, 2])
+                engine = get_backend(sampler, calibration, seed=seed + index)
+                circuit = compiled.circuit.without(["measure"])
+                if exact:
+                    row.success_rates[configuration] = engine.run_probabilities(
+                        circuit, measured_qubits=measured
+                    ).get("111", 0.0)
+                else:
+                    counts = engine.run_counts(
+                        circuit, shots=shots, measured_qubits=measured
+                    )
+                    row.success_rates[configuration] = counts.success_rate("111")
+        except SimulationError as exc:
+            # The backend cannot simulate this triplet's compiled circuits
+            # (e.g. the routing activated more qubits than a dense density
+            # matrix can hold); drop the whole row so the per-row
+            # configuration comparison stays balanced.
+            warnings.warn(
+                f"skipping triplet {row.triplet}: {exc}", RuntimeWarning,
+                stacklevel=2,
             )
-            row.cnot_counts[configuration] = compiled.two_qubit_gate_count
-            row.pass_timings[configuration] = compiled.pass_timings
-            measured = compiled.physical_qubits_of([0, 1, 2])
-            engine = get_backend(sampler, calibration, seed=seed + index)
-            counts = engine.run_counts(
-                compiled.circuit.without(["measure"]), shots=shots,
-                measured_qubits=measured,
-            )
-            row.success_rates[configuration] = counts.success_rate("111")
+            continue
         result.rows.append(row)
+    if not result.rows:
+        raise ReproError(
+            f"backend {sampler!r} could not simulate any of the "
+            f"{len(list(triplets))} triplets (see warnings); use a sampled "
+            "backend, smaller placements, or a larger max_active_qubits"
+        )
     # Present the rows sorted by decreasing distance, like the paper's figures.
     result.rows.sort(key=lambda r: -r.total_distance)
     return result

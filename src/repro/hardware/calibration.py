@@ -25,6 +25,27 @@ from .topology import CouplingMap
 Edge = Tuple[int, int]
 
 
+def damping_parameters(duration: float, t1: float, t2: float) -> Tuple[float, float]:
+    """Amplitude/phase-damping strengths for idling ``duration`` µs at T1/T2.
+
+    Returns ``(gamma, lam)`` for the combined amplitude+phase damping
+    channel: ``gamma = 1 - exp(-t/T1)`` relaxes populations and ``lam`` is
+    chosen so the off-diagonal coherences decay by ``exp(-t/T2)``.  ``lam``
+    clamps at zero when ``T2 > 2*T1`` would demand negative pure dephasing
+    (the channel stays CPTP; coherences then decay at the T1-limited rate).
+    This is the single home of the T1/T2 → damping math, shared by
+    :meth:`DeviceCalibration.damping_parameters` and
+    :func:`repro.sim.channels.idle_channel`.
+    """
+    if duration < 0:
+        raise HardwareError(f"duration must be non-negative, got {duration}")
+    if t1 <= 0 or t2 <= 0:
+        raise HardwareError("T1 and T2 must be positive")
+    gamma = 1.0 - math.exp(-duration / t1)
+    lam = max(0.0, math.exp(-duration / t1) - math.exp(-2.0 * duration / t2))
+    return gamma, lam
+
+
 @dataclass(frozen=True)
 class DeviceCalibration:
     """Average error rates and timing for a device.
@@ -118,6 +139,24 @@ class DeviceCalibration:
             success = 1.0 - self.cnot_error(a, b)
             weights[(a, b)] = -math.log(max(success, 1e-12))
         return weights
+
+    def damping_parameters(self, duration: float) -> Tuple[float, float]:
+        """Amplitude/phase-damping strengths for idling ``duration`` µs.
+
+        Delegates to the module-level :func:`damping_parameters` with this
+        calibration's T1/T2 — see there for the clamping convention.
+        """
+        return damping_parameters(duration, self.t1, self.t2)
+
+    def decoherence_failure_probability(self, duration: float) -> float:
+        """The paper's whole-register decoherence failure, ``1 - e^{-(Δ/T1+Δ/T2)}``.
+
+        This is the per-shot scramble probability used by both shot samplers
+        and by the density backend's default (sampler-consistent) mode.
+        """
+        if duration < 0:
+            raise HardwareError(f"duration must be non-negative, got {duration}")
+        return 1.0 - math.exp(-(duration / self.t1 + duration / self.t2))
 
     # ------------------------------------------------------------------
     # Derived calibrations

@@ -1,14 +1,37 @@
-"""Simulators: ideal statevector/unitary, noisy samplers, analytic estimator.
+"""Simulators: ideal statevector/unitary, noisy samplers, exact density matrix.
+
+Module map
+----------
+* :mod:`~repro.sim.statevector` — dense noiseless statevector evolution, the
+  ``apply_matrix`` tensor-contraction kernel and marginal distributions.
+* :mod:`~repro.sim.unitary` — whole-circuit unitaries and equivalence checks.
+* :mod:`~repro.sim.channels` — the noise-channel layer: Kraus/superoperator
+  :class:`~repro.sim.channels.QuantumChannel` objects compiled from a
+  :class:`~repro.hardware.calibration.DeviceCalibration` by
+  :class:`~repro.sim.channels.NoiseModel`, with CPTP validation.  Both the
+  samplers and the density backend read their error model from here.
+* :mod:`~repro.sim.noise` — shot-sampling noisy engines: the stochastic-Pauli
+  trajectory Monte Carlo and the paper's gate-failure model, batched over the
+  shot dimension.
+* :mod:`~repro.sim.density` — the exact open-system engine: density-matrix
+  evolution under the same channels, analytic outcome distributions
+  (``run_probabilities``) and multinomial shot sampling (``run_counts``).
+* :mod:`~repro.sim.estimator` — the paper's closed-form success model (§2.6).
+* :mod:`~repro.sim.result` — the :class:`NoisyResult` counts container.
 
 Every shot-producing engine implements the :class:`SimulationBackend`
 protocol — ``run_counts(circuit, shots, measured_qubits, seed) ->
 NoisyResult`` — so experiment code can select an execution model by name via
-:func:`get_backend` instead of hard-wiring sampler classes.
+:func:`get_backend` instead of hard-wiring sampler classes.  Backends that can
+also produce *exact* outcome distributions additionally expose
+``run_probabilities(circuit, measured_qubits) -> {bitstring: probability}``
+(``"density"`` and ``"ideal"`` today); :func:`supports_exact_probabilities`
+tests for that capability.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
+from typing import Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import SimulationError
@@ -19,6 +42,7 @@ from .statevector import (
     zero_state,
     basis_state,
     apply_matrix,
+    marginal_distribution,
     marginal_probabilities,
     statevector_fidelity,
 )
@@ -35,6 +59,20 @@ from .estimator import (
     success_ratio,
     circuit_duration,
 )
+from .channels import (
+    NoiseModel,
+    QuantumChannel,
+    amplitude_damping_channel,
+    amplitude_phase_damping_channel,
+    depolarizing_channel,
+    gate_error_probability,
+    idle_channel,
+    pauli_channel,
+    phase_damping_channel,
+    readout_confusion,
+    unitary_channel,
+)
+from .density import DensityMatrixSimulator
 from .noise import PauliTrajectorySampler, GateFailureSampler
 
 
@@ -53,8 +91,31 @@ class SimulationBackend(Protocol):
         ...
 
 
+#: One-line description per registered backend, in documentation order.
+BACKEND_DESCRIPTIONS: Dict[str, str] = {
+    "failure": "the paper's gate-failure model, vectorized over shots",
+    "trajectory": "stochastic-Pauli Monte Carlo, one evolution per unique error pattern",
+    "density": "exact density-matrix evolution; analytic probabilities, multinomial counts",
+    "ideal": "noiseless statevector sampling",
+}
+
 #: Registered backend names, in documentation order.
-BACKEND_NAMES: Tuple[str, ...] = ("failure", "trajectory", "ideal")
+BACKEND_NAMES: Tuple[str, ...] = tuple(BACKEND_DESCRIPTIONS)
+
+#: Names (and aliases) whose :func:`get_backend` result exposes
+#: ``run_probabilities`` — keep in sync with the registry below; the CLI's
+#: ``--exact`` mode substitutes ``"density"`` for anything not listed here.
+EXACT_PROBABILITY_BACKENDS: Tuple[str, ...] = ("density", "ideal", "statevector")
+
+
+def supports_exact_probabilities(backend: object) -> bool:
+    """Whether ``backend`` can return analytic outcome distributions.
+
+    True for engines exposing ``run_probabilities`` (the ``"density"`` and
+    ``"ideal"`` backends); the experiment drivers' ``exact=True`` mode
+    requires this capability.
+    """
+    return callable(getattr(backend, "run_probabilities", None))
 
 
 def get_backend(
@@ -67,24 +128,32 @@ def get_backend(
 
     Args:
         name: ``"failure"`` for the fast gate-failure model, ``"trajectory"``
-            for the stochastic-Pauli Monte Carlo, ``"ideal"`` (alias
-            ``"statevector"``) for noiseless sampling.
+            for the stochastic-Pauli Monte Carlo, ``"density"`` for exact
+            density-matrix evolution (multinomial shot sampling, plus
+            ``run_probabilities``), ``"ideal"`` (alias ``"statevector"``) for
+            noiseless sampling.
         calibration: Device error model; required by the noisy backends and
             ignored by the ideal one.
         seed: Seed for the backend's random generator (``run_counts`` may
             override it per call).
         **kwargs: Extra constructor arguments, e.g. ``max_active_qubits`` for
-            the noisy samplers or ``num_qubits_limit`` for the ideal backend.
+            the noisy backends or ``num_qubits_limit`` for the ideal one.
+
+    Raises:
+        SimulationError: For an unknown name (the message lists every
+            registered backend) or a missing required calibration.
     """
     key = name.lower()
     if key in ("ideal", "statevector"):
         return StatevectorSimulator(seed=seed, **kwargs)
-    if key in ("failure", "trajectory") and calibration is None:
+    if key in ("failure", "trajectory", "density") and calibration is None:
         raise SimulationError(f"backend {name!r} requires a device calibration")
     if key == "failure":
         return GateFailureSampler(calibration, seed=seed, **kwargs)
     if key == "trajectory":
         return PauliTrajectorySampler(calibration, seed=seed, **kwargs)
+    if key == "density":
+        return DensityMatrixSimulator(calibration, seed=seed, **kwargs)
     raise SimulationError(
         f"unknown simulation backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
     )
@@ -93,11 +162,16 @@ def get_backend(
 __all__ = [
     "SimulationBackend",
     "BACKEND_NAMES",
+    "BACKEND_DESCRIPTIONS",
+    "EXACT_PROBABILITY_BACKENDS",
     "get_backend",
+    "supports_exact_probabilities",
     "StatevectorSimulator",
+    "DensityMatrixSimulator",
     "zero_state",
     "basis_state",
     "apply_matrix",
+    "marginal_distribution",
     "marginal_probabilities",
     "statevector_fidelity",
     "counts_from_bit_array",
@@ -110,6 +184,17 @@ __all__ = [
     "success_probability",
     "success_ratio",
     "circuit_duration",
+    "QuantumChannel",
+    "NoiseModel",
+    "unitary_channel",
+    "pauli_channel",
+    "depolarizing_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "amplitude_phase_damping_channel",
+    "idle_channel",
+    "readout_confusion",
+    "gate_error_probability",
     "PauliTrajectorySampler",
     "GateFailureSampler",
     "NoisyResult",

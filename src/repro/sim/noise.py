@@ -29,7 +29,6 @@ only the order in which random numbers are consumed differs.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,23 +36,21 @@ import numpy as np
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration
+from .channels import PAULI_LABELS, PAULI_MATRICES, gate_error_probability
 from .estimator import circuit_duration, estimate_success
 from .result import NoisyResult, counts_from_bit_array
 from .statevector import (
     StatevectorSimulator,
     apply_matrix,
     measured_qubits_of,
+    reduce_for_measurement,
     reduce_to_active_qubits,
     zero_state,
 )
 
-_PAULI_MATRICES = {
-    "I": np.eye(2, dtype=complex),
-    "X": np.array([[0, 1], [1, 0]], dtype=complex),
-    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
-    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
-}
-_PAULI_LABELS = ("I", "X", "Y", "Z")
+# Backwards-compatible aliases; the canonical Paulis live in .channels.
+_PAULI_MATRICES = PAULI_MATRICES
+_PAULI_LABELS = PAULI_LABELS
 
 #: A shot's error pattern: ``(gate_index, pauli_code)`` pairs, where the code
 #: encodes one base-4 Pauli digit (0=I, 1=X, 2=Y, 3=Z) per gate qubit with the
@@ -120,22 +117,20 @@ class PauliTrajectorySampler:
         """
         if shots < 1:
             raise SimulationError("shots must be positive")
-        if measured_qubits is None:
-            measured_qubits = _measured_qubits(circuit) or sorted(circuit.active_qubits())
-        measured_qubits = list(measured_qubits)
-        reduced, mapping = _reduce_to_active(circuit, measured_qubits)
+        reduced, measured_qubits, compact_measured = reduce_for_measurement(
+            circuit, measured_qubits
+        )
         if reduced.num_qubits > self.max_active_qubits:
             raise SimulationError(
                 f"{reduced.num_qubits} active qubits exceeds the trajectory "
                 f"sampler limit ({self.max_active_qubits})"
             )
-        compact_measured = [mapping[q] for q in measured_qubits]
         gates = [inst for inst in reduced.instructions if inst.gate.is_unitary]
         duration = circuit_duration(circuit.without(["barrier"]), self.calibration)
         decoherence_failure = 0.0
         if self.include_decoherence:
-            decoherence_failure = 1.0 - math.exp(
-                -(duration / self.calibration.t1 + duration / self.calibration.t2)
+            decoherence_failure = self.calibration.decoherence_failure_probability(
+                duration
             )
 
         num_qubits = reduced.num_qubits
@@ -254,19 +249,13 @@ class PauliTrajectorySampler:
         return state
 
     def _error_probability(self, instruction: Instruction) -> float:
-        name = instruction.name
-        qubits = instruction.qubits
-        if len(qubits) == 1:
-            return self.calibration.one_qubit_gate_error
-        if len(qubits) == 2:
-            error = self.calibration.gate_error("cx", qubits)
-            if name == "swap":
-                return 1.0 - (1.0 - error) ** 3
-            return error
-        raise SimulationError(
-            f"gate {name!r} on {len(qubits)} qubits must be decomposed before "
-            "noisy simulation"
-        )
+        """Per-gate error weight, delegated to the shared channel layer.
+
+        :func:`repro.sim.channels.gate_error_probability` is the single home
+        of calibration→noise logic, so the trajectory sampler and the exact
+        density backend are guaranteed to weight every gate identically.
+        """
+        return gate_error_probability(self.calibration, instruction)
 
 
 class GateFailureSampler:
@@ -300,16 +289,14 @@ class GateFailureSampler:
         """Sample ``shots`` outcomes under the simplified failure model."""
         if shots < 1:
             raise SimulationError("shots must be positive")
-        if measured_qubits is None:
-            measured_qubits = _measured_qubits(circuit) or sorted(circuit.active_qubits())
-        measured_qubits = list(measured_qubits)
-        reduced, mapping = _reduce_to_active(circuit, measured_qubits)
+        reduced, measured_qubits, compact_measured = reduce_for_measurement(
+            circuit, measured_qubits
+        )
         if reduced.num_qubits > self.max_active_qubits:
             raise SimulationError(
                 f"{reduced.num_qubits} active qubits exceeds the gate-failure "
                 f"sampler limit ({self.max_active_qubits})"
             )
-        compact_measured = [mapping[q] for q in measured_qubits]
         estimate = estimate_success(
             circuit.without(["measure", "barrier"]), self.calibration, include_readout=False
         )

@@ -113,6 +113,24 @@ def measured_qubits_of(circuit: QuantumCircuit) -> List[int]:
     return seen
 
 
+def reduce_for_measurement(
+    circuit: QuantumCircuit, measured_qubits: Optional[Sequence[int]] = None
+) -> Tuple[QuantumCircuit, List[int], List[int]]:
+    """The shared execution prologue of every backend.
+
+    Defaults ``measured_qubits`` (the circuit's ``measure`` instructions, or
+    all active qubits), restricts the circuit to its active wires, and remaps
+    the measured qubits into the reduced circuit's compact indexing.
+
+    Returns ``(reduced, measured_qubits, compact_measured)``.
+    """
+    if measured_qubits is None:
+        measured_qubits = measured_qubits_of(circuit) or sorted(circuit.active_qubits())
+    measured_qubits = list(measured_qubits)
+    reduced, mapping = reduce_to_active_qubits(circuit, measured_qubits)
+    return reduced, measured_qubits, [mapping[q] for q in measured_qubits]
+
+
 def apply_instruction(state: np.ndarray, instruction: Instruction, num_qubits: int) -> np.ndarray:
     """Apply a unitary instruction to a statevector (measure/barrier are skipped)."""
     if not instruction.gate.is_unitary:
@@ -182,6 +200,22 @@ class StatevectorSimulator:
         probs = self.probabilities(circuit, qubits, initial_state)
         return _sample_from_probs(probs, shots, np.random.default_rng(seed))
 
+    def run_probabilities(
+        self,
+        circuit: QuantumCircuit,
+        measured_qubits: Optional[Sequence[int]] = None,
+    ) -> Dict[str, float]:
+        """Exact (noiseless) outcome distribution over the measured qubits.
+
+        The probability-backend counterpart of :meth:`run_counts`: the same
+        active-qubit reduction and measured-qubit defaulting, but returning
+        the analytic distribution instead of sampled counts, so experiment
+        drivers in ``exact`` mode record zero-shot-variance numbers.
+        """
+        reduced, _, compact_measured = reduce_for_measurement(circuit, measured_qubits)
+        # run() skips non-unitary instructions, so no measure-stripping copy.
+        return self.probabilities(reduced, compact_measured)
+
     def run_counts(
         self,
         circuit: QuantumCircuit,
@@ -199,25 +233,27 @@ class StatevectorSimulator:
         """
         if shots < 1:
             raise SimulationError("shots must be positive")
-        if measured_qubits is None:
-            measured_qubits = measured_qubits_of(circuit) or sorted(circuit.active_qubits())
-        measured_qubits = list(measured_qubits)
-        reduced, mapping = reduce_to_active_qubits(circuit, measured_qubits)
-        compact_measured = [mapping[q] for q in measured_qubits]
+        reduced, measured_qubits, compact_measured = reduce_for_measurement(
+            circuit, measured_qubits
+        )
         if seed is not None:
             self.rng = np.random.default_rng(seed)
-        probs = self.probabilities(reduced.without(["measure"]), compact_measured)
+        probs = self.probabilities(reduced, compact_measured)
         counts = _sample_from_probs(probs, shots, self.rng)
         return NoisyResult(
             counts=counts, shots=shots, measured_qubits=tuple(measured_qubits)
         )
 
 
-def marginal_probabilities(
-    state: np.ndarray, num_qubits: int, qubits: Optional[Sequence[int]] = None
-) -> Dict[str, float]:
-    """Probability of each bitstring over ``qubits`` (in the given order)."""
-    probabilities = np.abs(state) ** 2
+def marginal_distribution(
+    probabilities: np.ndarray, num_qubits: int, qubits: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Marginalize a length-``2**num_qubits`` probability vector onto ``qubits``.
+
+    Returns a dense ``2**len(qubits)`` vector whose index orders the requested
+    qubits with ``qubits[0]`` as the most significant bit.  Shared by the
+    statevector marginals and the density backend's exact distributions.
+    """
     if qubits is None:
         qubits = list(range(num_qubits))
     qubits = list(qubits)
@@ -228,17 +264,26 @@ def marginal_probabilities(
         raise SimulationError(
             f"qubits {out_of_range} are out of range for a {num_qubits}-qubit state"
         )
-    result: Dict[str, float] = {}
-    tensor = probabilities.reshape((2,) * num_qubits)
+    tensor = np.asarray(probabilities).reshape((2,) * num_qubits)
     other_axes = tuple(q for q in range(num_qubits) if q not in qubits)
     marginal = tensor.sum(axis=other_axes) if other_axes else tensor
     # ``marginal`` axes are the kept qubits in increasing qubit order; reorder
     # them to match the caller's requested order.
     kept_sorted = sorted(qubits)
     order = [kept_sorted.index(q) for q in qubits]
-    marginal = np.transpose(marginal, order)
-    flat = marginal.reshape(-1)
+    return np.transpose(marginal, order).reshape(-1)
+
+
+def marginal_probabilities(
+    state: np.ndarray, num_qubits: int, qubits: Optional[Sequence[int]] = None
+) -> Dict[str, float]:
+    """Probability of each bitstring over ``qubits`` (in the given order)."""
+    if qubits is None:
+        qubits = list(range(num_qubits))
+    qubits = list(qubits)
+    flat = marginal_distribution(np.abs(state) ** 2, num_qubits, qubits)
     width = len(qubits)
+    result: Dict[str, float] = {}
     for index, probability in enumerate(flat):
         if probability > 1e-15:
             result[format(index, f"0{width}b")] = float(probability)

@@ -76,3 +76,41 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["figure42"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_list_backends(self, capsys):
+        assert main(["--list-backends"]) == 0
+        output = capsys.readouterr().out
+        for name in ("failure", "trajectory", "density", "ideal"):
+            assert name in output
+
+    def test_compile_command_with_pipeline(self, capsys):
+        assert main(["compile", "cnx_inplace-4", "--pipeline", "baseline",
+                     "--topology", "line-20", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "'baseline' pipeline" in output
+        assert "CNOTs" in output
+        assert "analytic success" in output
+
+    def test_compile_command_rejects_unknown_pipeline(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "cnx_inplace-4", "--pipeline", "nonesuch"])
+
+    def test_toffoli_exact_density(self, capsys):
+        assert main(["toffoli", "--triplets", "2", "--seed", "2", "--exact"]) == 0
+        output = capsys.readouterr().out
+        assert "exact probabilities, zero shot variance" in output
+        assert "[Figure 6]" in output
+        # The default 'failure' sampler cannot serve --exact; the CLI must
+        # say so rather than silently switching engines.
+        assert "using the 'density' backend" in output
+
+    def test_density_backend_rejected_nowhere(self):
+        # "density" must be a valid choice for every experiment subcommand.
+        with pytest.raises(SystemExit):
+            main(["toffoli", "--sampler", "nonesuch"])
+        with pytest.raises(SystemExit):
+            main(["benchmarks", "--backend", "nonesuch"])
