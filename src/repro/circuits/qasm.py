@@ -30,19 +30,25 @@ _RZZ_DEFINITION = (
 
 
 def _format_param(value: float) -> str:
-    """Render an angle compactly, using pi fractions when exact."""
+    """Render an angle compactly, using pi fractions when exact.
+
+    Exact pi fractions (``num * pi / denom`` to the last float bit) print
+    symbolically; everything else prints with :func:`repr`, whose
+    shortest-round-trip guarantee makes ``parse(dump(c))`` reproduce every
+    angle bit for bit — the property the QASM round-trip tests pin.
+    """
     for denom in (1, 2, 3, 4, 6, 8, 16):
         for num in range(-16, 17):
             if num == 0:
                 continue
-            if abs(value - num * math.pi / denom) < 1e-12:
+            if value == num * math.pi / denom:
                 sign = "-" if num < 0 else ""
                 num = abs(num)
                 numerator = "pi" if num == 1 else f"{num}*pi"
                 return f"{sign}{numerator}/{denom}" if denom != 1 else f"{sign}{numerator}"
-    if abs(value) < 1e-12:
+    if value == 0.0:
         return "0"
-    return f"{value:.12g}"
+    return repr(value)
 
 
 def to_qasm(circuit: QuantumCircuit) -> str:
@@ -82,11 +88,18 @@ _GATE_RE = re.compile(r"(\w+)\s*(\(([^)]*)\))?\s+([^;]+);")
 
 
 def _parse_angle(text: str) -> float:
-    """Evaluate a restricted arithmetic expression over pi (e.g. ``-3*pi/4``)."""
-    allowed = set("0123456789.+-*/ pi()")
+    """Evaluate a restricted arithmetic expression over pi (e.g. ``-3*pi/4``).
+
+    Also accepts scientific notation (``1.5e-07``), which the exporter's
+    full-precision ``repr`` rendering produces for small angles.
+    """
+    allowed = set("0123456789.+-*/ piE()e")
     if not set(text) <= allowed:
         raise CircuitError(f"unsupported angle expression {text!r}")
-    return float(eval(text, {"__builtins__": {}}, {"pi": math.pi}))  # noqa: S307
+    try:
+        return float(eval(text, {"__builtins__": {}}, {"pi": math.pi}))  # noqa: S307
+    except Exception as exc:
+        raise CircuitError(f"cannot evaluate angle expression {text!r}") from exc
 
 
 def from_qasm(text: str) -> QuantumCircuit:

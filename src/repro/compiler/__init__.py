@@ -1,6 +1,7 @@
 """End-to-end compilation pipelines (baseline and Orchestrated Trios)."""
 
 from .pipeline import (
+    DEFAULT_SEED_TRIALS,
     PIPELINES,
     STAGE_BUILDERS,
     build_pass_manager,
@@ -12,6 +13,7 @@ from ..hardware.target import Target
 from .result import CompilationResult, gate_reduction, check_connectivity
 
 __all__ = [
+    "DEFAULT_SEED_TRIALS",
     "PIPELINES",
     "STAGE_BUILDERS",
     "build_pass_manager",

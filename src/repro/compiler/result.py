@@ -69,6 +69,17 @@ class CompilationResult:
     # Pass telemetry
     # ------------------------------------------------------------------
     @property
+    def seed_search(self) -> Optional[Dict[str, object]]:
+        """Telemetry of the level-3 multi-seed layout/routing search.
+
+        ``None`` below ``optimization_level=3``; otherwise a dict with the
+        ``seeds`` tried, one ``candidates`` record per seed (``seed``,
+        ``cnots``, ``depth``, ``estimated_success``, ``admissible``) and the
+        ``chosen_seed``/``chosen_index`` that produced this result.
+        """
+        return self.properties.get("optimization3_search")
+
+    @property
     def pass_timings(self) -> List[Dict[str, object]]:
         """Per-pass telemetry recorded by the pass manager.
 
@@ -126,6 +137,37 @@ class CompilationResult:
             return self.target.calibration
         raise TranspilerError(
             "no calibration given and the compilation target carries none"
+        )
+
+    # ------------------------------------------------------------------
+    # Machine verification
+    # ------------------------------------------------------------------
+    def assert_equivalent(
+        self,
+        logical: QuantumCircuit,
+        trials: int = 3,
+        seed: int = 7,
+        max_active: int = 14,
+    ) -> None:
+        """Machine-check this compilation against its logical source.
+
+        Delegates to :func:`repro.sim.equivalence.assert_routed_equivalent`
+        with this result's initial/final layouts: random product states are
+        prepared on the initial wires and the outputs must appear on the
+        final wires with every ancilla wire back in |0⟩.  Raises
+        :class:`~repro.exceptions.EquivalenceError` on deviation.
+        """
+        from ..sim.equivalence import assert_routed_equivalent
+
+        assert_routed_equivalent(
+            logical,
+            self.circuit,
+            self.initial_layout.to_dict(),
+            self.final_layout.to_dict(),
+            trials=trials,
+            seed=seed,
+            max_active=max_active,
+            context=f"{self.method} compilation of {self.source_name!r}",
         )
 
     # ------------------------------------------------------------------

@@ -24,6 +24,15 @@ class SimulationError(ReproError):
     """Raised when a simulator cannot execute the given circuit."""
 
 
+class EquivalenceError(SimulationError, AssertionError):
+    """Raised when an equivalence assertion between two circuits fails.
+
+    Also an :class:`AssertionError`, so the ``assert_*`` helpers of
+    :mod:`repro.sim.equivalence` integrate with pytest and plain ``assert``
+    driven harnesses.
+    """
+
+
 class HardwareError(ReproError):
     """Raised for invalid hardware topology or calibration data."""
 

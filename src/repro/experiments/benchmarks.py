@@ -18,7 +18,6 @@ them.
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,6 +34,7 @@ from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, near_term_calibration
 from ..hardware.library import PAPER_TOPOLOGIES
 from ..hardware.topology import CouplingMap
+from ..parallel import run_experiment_cells
 from ..sim import (
     EXACT_PROBABILITY_BACKENDS,
     StatevectorSimulator,
@@ -322,20 +322,6 @@ def _benchmark_cell(
         )
         return label, benchmark, None
     return label, benchmark, comparison
-
-
-def run_experiment_cells(payloads: Sequence[tuple], worker: Callable, jobs: int) -> List:
-    """Run experiment cells serially or over a process pool, preserving order.
-
-    Results come back in payload order regardless of completion order, and
-    every cell derives its randomness from the seed carried in its own
-    payload, so the parallel sweep is deterministic and identical to the
-    serial one.
-    """
-    if jobs <= 1 or len(payloads) <= 1:
-        return [worker(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        return list(pool.map(worker, payloads))
 
 
 def run_benchmark_experiment(

@@ -145,8 +145,18 @@ def _build_parser() -> argparse.ArgumentParser:
                              choices=sorted(PAPER_TOPOLOGIES),
                              help="target device topology")
     compile_cmd.add_argument("--seed", type=int, default=11, help="routing seed")
-    compile_cmd.add_argument("--optimization-level", type=int, default=1,
-                             choices=[0, 1, 2], help="transpile() level")
+    compile_cmd.add_argument("--optimization-level", "--opt-level", type=int,
+                             default=1, choices=[0, 1, 2, 3],
+                             dest="optimization_level",
+                             help="transpile() level; 3 adds the "
+                                  "commutation-aware cancellation loop and a "
+                                  "multi-seed layout/routing search")
+    compile_cmd.add_argument("--seed-trials", type=int, default=None,
+                             help="layout/routing seeds the level-3 search "
+                                  "tries (only with --opt-level 3; default 4)")
+    compile_cmd.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the level-3 seed "
+                                  "search (only with --opt-level 3)")
 
     subparsers.add_parser("all", help="Run everything (may take a minute)")
     return parser
@@ -219,11 +229,23 @@ def _run_sensitivity(factors: Sequence[float], backend: str = "analytic",
 
 
 def _run_compile(benchmark: str, pipeline: str, topology: str, seed: int,
-                 optimization_level: int) -> None:
+                 optimization_level: int, seed_trials: Optional[int] = None,
+                 jobs: int = 1) -> None:
     circuit = get_benchmark(benchmark)
     coupling_map = by_name(topology)
+    extra = {}
+    if optimization_level >= 3:
+        extra = dict(seed_trials=seed_trials, jobs=jobs)
+    else:
+        # Forward explicitly-given search knobs even below level 3 so
+        # transpile()'s "has no effect" rejection surfaces instead of the
+        # CLI silently running a plain compile.
+        if seed_trials is not None:
+            extra["seed_trials"] = seed_trials
+        if jobs != 1:
+            extra["jobs"] = jobs
     compiled = transpile(circuit, coupling_map, method=pipeline, seed=seed,
-                         optimization_level=optimization_level)
+                         optimization_level=optimization_level, **extra)
     calibration = near_term_calibration()
     print(f"[compile] {benchmark} with the {pipeline!r} pipeline "
           f"on {topology} (seed {seed}, O{optimization_level})\n")
@@ -233,6 +255,17 @@ def _run_compile(benchmark: str, pipeline: str, topology: str, seed: int,
     print(f"  SWAPs inserted:        {compiled.swaps_inserted}")
     print(f"  duration:              {compiled.duration(calibration):.3f} us")
     print(f"  analytic success (20x): {compiled.success_probability(calibration):.4f}")
+    search = compiled.seed_search
+    if search is not None:
+        tried = len(search["seeds"])
+        print(f"  seed search:           {tried} seed(s), "
+              f"chose seed {search['chosen_seed']}")
+        for record in search["candidates"]:
+            marker = "*" if record["seed"] == search["chosen_seed"] else " "
+            print(f"    {marker} seed {record['seed']}: "
+                  f"{record['cnots']} CNOTs, depth {record['depth']}, "
+                  f"est. success {record['estimated_success']:.4f}"
+                  + ("" if record["admissible"] else " (inadmissible)"))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -258,7 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          exact=args.exact, profile_passes=args.profile_passes)
     elif args.command == "compile":
         _run_compile(args.benchmark, args.pipeline, args.topology, args.seed,
-                     args.optimization_level)
+                     args.optimization_level, seed_trials=args.seed_trials,
+                     jobs=args.jobs)
     elif args.command == "all":
         _run_table1()
         print("\n")

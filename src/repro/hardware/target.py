@@ -78,6 +78,39 @@ class Target:
         calibration = self.require_calibration("noise-aware compilation")
         return calibration.edge_weight_neg_log_success(self.coupling_map)
 
+    # ------------------------------------------------------------------
+    # Candidate scoring (the level-3 multi-seed search hooks)
+    # ------------------------------------------------------------------
+    def scoring_calibration(self) -> DeviceCalibration:
+        """The calibration used to *rank* candidate compilations.
+
+        An uncalibrated target still needs a consistent ranking for the
+        level-3 multi-seed search, so this falls back to the paper's
+        near-term (20x-improved Johannesburg) error model.  Metrics reported
+        on results (:meth:`~repro.compiler.result.CompilationResult.duration`
+        etc.) keep requiring a real calibration — only the internal candidate
+        ranking uses the fallback.
+        """
+        if self.calibration is not None:
+            return self.calibration
+        from .calibration import near_term_calibration
+
+        return near_term_calibration()
+
+    def estimated_success(self, circuit, include_readout: bool = True) -> float:
+        """Analytic success probability of ``circuit`` under the scoring model.
+
+        The §2.6 closed-form estimate evaluated with
+        :meth:`scoring_calibration` — the objective the level-3 search
+        maximises over its layout/routing seeds.
+        """
+        from ..sim.estimator import estimate_success
+
+        bare = circuit.without(["barrier"])
+        return estimate_success(
+            bare, self.scoring_calibration(), include_readout=include_readout
+        ).probability
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cal = self.calibration.name if self.calibration is not None else None
         return (

@@ -35,6 +35,16 @@ from .optimization import (
     CancelAdjacentInversesPass,
     Consolidate1qRunsPass,
     RemoveIdentitiesPass,
+    is_inverse_pair,
+)
+from .commutation import (
+    CommutationAnalysisPass,
+    CommutationSets,
+    CommutativeCancellationPass,
+    clear_commutation_cache,
+    commutation_cache_size,
+    gates_commute,
+    instructions_commute,
 )
 from .scheduling import Schedule, ScheduledInstruction, asap_schedule, ASAPSchedulePass
 
@@ -71,6 +81,14 @@ __all__ = [
     "CancelAdjacentInversesPass",
     "Consolidate1qRunsPass",
     "RemoveIdentitiesPass",
+    "is_inverse_pair",
+    "CommutationAnalysisPass",
+    "CommutationSets",
+    "CommutativeCancellationPass",
+    "clear_commutation_cache",
+    "commutation_cache_size",
+    "gates_commute",
+    "instructions_commute",
     "Schedule",
     "ScheduledInstruction",
     "asap_schedule",

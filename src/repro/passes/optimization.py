@@ -60,6 +60,24 @@ class RemoveBarriersPass(TransformationPass):
         return dag
 
 
+def is_inverse_pair(first: Instruction, second: Instruction) -> bool:
+    """Whether ``first · second`` is the identity: same qubits, inverse gates.
+
+    The shared cancellation test of :class:`CancelAdjacentInversesPass` and the
+    commutation-aware :class:`~repro.passes.commutation.CommutativeCancellationPass`.
+    """
+    # Compare ``first == second.inverse()`` (not the flipped form): the two
+    # differ at the object level for gates whose ``inverse()`` changes the
+    # gate name (``u2`` inverts to a ``u3``), and this orientation is the one
+    # the byte-frozen level-1 pipelines have always used.
+    return (
+        first.gate.is_unitary
+        and second.gate.is_unitary
+        and first.qubits == second.qubits
+        and first.gate == second.gate.inverse()
+    )
+
+
 class CancelAdjacentInversesPass(TransformationPass):
     """Cancel neighbouring gate pairs ``G · G⁻¹`` acting on the same qubits.
 
@@ -90,12 +108,7 @@ class CancelAdjacentInversesPass(TransformationPass):
                 if previous is not None and all(
                     node.prev_on(q) is previous for q in qubits
                 ):
-                    prev_instruction = previous.instruction
-                    if (
-                        prev_instruction.gate.is_unitary
-                        and prev_instruction.qubits == qubits
-                        and prev_instruction.gate == instruction.gate.inverse()
-                    ):
+                    if is_inverse_pair(previous.instruction, instruction):
                         dag.remove_node(previous)
                         dag.remove_node(node)
                         changed = True

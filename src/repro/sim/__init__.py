@@ -4,7 +4,14 @@ Module map
 ----------
 * :mod:`~repro.sim.statevector` — dense noiseless statevector evolution, the
   ``apply_matrix`` tensor-contraction kernel and marginal distributions.
-* :mod:`~repro.sim.unitary` — whole-circuit unitaries and equivalence checks.
+* :mod:`~repro.sim.unitary` — whole-circuit unitaries and phase-aligned
+  matrix comparisons.
+* :mod:`~repro.sim.equivalence` — the formal equivalence-checking harness:
+  exact unitary and randomized statevector circuit comparison
+  (:func:`circuits_equivalent`, :func:`assert_unitary_equivalent`) plus
+  layout-aware compiled-vs-logical checks (:func:`routed_circuits_equivalent`),
+  shared by the optimisation passes' debug mode, the test suite and the
+  benchmark harnesses.
 * :mod:`~repro.sim.channels` — the noise-channel layer: Kraus/superoperator
   :class:`~repro.sim.channels.QuantumChannel` objects compiled from a
   :class:`~repro.hardware.calibration.DeviceCalibration` by
@@ -50,7 +57,14 @@ from .unitary import (
     circuit_unitary,
     permutation_unitary,
     equal_up_to_global_phase,
+    phase_aligned_distance,
+)
+from .equivalence import (
+    assert_routed_equivalent,
+    assert_unitary_equivalent,
     circuits_equivalent,
+    routed_circuits_equivalent,
+    unpermute_statevector,
 )
 from .estimator import (
     SuccessEstimate,
@@ -178,7 +192,12 @@ __all__ = [
     "circuit_unitary",
     "permutation_unitary",
     "equal_up_to_global_phase",
+    "phase_aligned_distance",
     "circuits_equivalent",
+    "assert_unitary_equivalent",
+    "assert_routed_equivalent",
+    "routed_circuits_equivalent",
+    "unpermute_statevector",
     "SuccessEstimate",
     "estimate_success",
     "success_probability",

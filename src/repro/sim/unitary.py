@@ -81,6 +81,30 @@ def equal_up_to_global_phase(
     return bool(np.allclose(matrix_a, matrix_b * phase, atol=atol))
 
 
+def phase_aligned_distance(matrix_a: np.ndarray, matrix_b: np.ndarray) -> float:
+    """Max entry-wise deviation after aligning the global phase.
+
+    The phase is fixed at ``matrix_b``'s largest-magnitude entry (the same
+    anchor :func:`equal_up_to_global_phase` uses), so this is the deviation
+    that check compared against its tolerance — the number to report when an
+    equivalence assertion fails.
+    """
+    if matrix_a.shape != matrix_b.shape:
+        raise SimulationError(
+            f"cannot compare matrices of shapes {matrix_a.shape} and {matrix_b.shape}"
+        )
+    index = np.unravel_index(np.argmax(np.abs(matrix_b)), matrix_b.shape)
+    anchor = matrix_b[index]
+    if abs(anchor) == 0.0:
+        return float(np.max(np.abs(matrix_a - matrix_b)))
+    phase = matrix_a[index] / anchor
+    if abs(phase) > 0:
+        phase = phase / abs(phase)
+    else:
+        phase = 1.0
+    return float(np.max(np.abs(matrix_a - matrix_b * phase)))
+
+
 def circuits_equivalent(
     circuit_a: QuantumCircuit,
     circuit_b: QuantumCircuit,
@@ -89,19 +113,12 @@ def circuits_equivalent(
 ) -> bool:
     """Whether two circuits implement the same unitary.
 
-    Args:
-        circuit_a: Reference circuit.
-        circuit_b: Candidate circuit (e.g. after compilation).
-        final_permutation: If routing moved logical qubit ``q`` to wire
-            ``final_permutation[q]``, pass that map so the comparison undoes it.
-        atol: Numerical tolerance.
+    Legacy location: the implementation lives in
+    :func:`repro.sim.equivalence.circuits_equivalent` (the package-level
+    export), which this delegates to so both import paths behave
+    identically.  The lazy import avoids a module cycle — ``equivalence``
+    builds on this module's :func:`circuit_unitary`.
     """
-    if circuit_a.num_qubits != circuit_b.num_qubits:
-        return False
-    unitary_a = circuit_unitary(circuit_a)
-    unitary_b = circuit_unitary(circuit_b)
-    if final_permutation:
-        perm = permutation_unitary(final_permutation, circuit_b.num_qubits)
-        # Undo the wire permutation introduced by routing.
-        unitary_b = perm.conj().T @ unitary_b
-    return equal_up_to_global_phase(unitary_a, unitary_b, atol=atol)
+    from .equivalence import circuits_equivalent as _impl
+
+    return _impl(circuit_a, circuit_b, final_permutation, atol=atol)

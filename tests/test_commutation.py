@@ -1,0 +1,380 @@
+"""Commutation analysis and commutative cancellation (`repro.passes.commutation`).
+
+The satellite property the ISSUE pins: the memoized commutation table must
+agree with explicit matrix commutators for *every* library gate pair, and
+every optimisation pass — the old cleanup passes and the new
+commutation-aware one — must preserve unitary equivalence on randomized
+circuits, checked through the `repro.sim.equivalence` harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.circuits import library
+from repro.exceptions import TranspilerError
+from repro.passes import (
+    CancelAdjacentInversesPass,
+    CommutationAnalysisPass,
+    CommutativeCancellationPass,
+    Consolidate1qRunsPass,
+    DecomposeSwapsPass,
+    FixedPoint,
+    PropertySet,
+    RemoveIdentitiesPass,
+    clear_commutation_cache,
+    commutation_cache_size,
+    gates_commute,
+    instructions_commute,
+)
+from repro.sim import assert_unitary_equivalent, circuit_unitary, circuits_equivalent
+
+# ----------------------------------------------------------------------
+# The full library gate inventory (parameter-free gates plus sampled angles
+# for every parameterised gate) used by the exhaustive commutator check.
+# ----------------------------------------------------------------------
+_SAMPLE_ANGLE = 0.9337  # deliberately not a symmetry angle
+_LIBRARY_GATES = [
+    # 1q parameter-free
+    *(Gate(name, 1) for name in
+      ("id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg")),
+    # 1q parameterised
+    Gate("rx", 1, (_SAMPLE_ANGLE,)),
+    Gate("ry", 1, (_SAMPLE_ANGLE,)),
+    Gate("rz", 1, (_SAMPLE_ANGLE,)),
+    Gate("u1", 1, (_SAMPLE_ANGLE,)),
+    Gate("p", 1, (_SAMPLE_ANGLE,)),
+    Gate("u2", 1, (_SAMPLE_ANGLE, 0.31)),
+    Gate("u3", 1, (_SAMPLE_ANGLE, 0.31, -1.2)),
+    # 2q
+    *(Gate(name, 2) for name in ("cx", "cz", "cy", "ch", "swap")),
+    Gate("cp", 2, (_SAMPLE_ANGLE,)),
+    Gate("crz", 2, (_SAMPLE_ANGLE,)),
+    Gate("rzz", 2, (_SAMPLE_ANGLE,)),
+    # 3q
+    *(Gate(name, 3) for name in ("ccx", "ccz", "cswap")),
+]
+
+
+def _overlapping_placements(arity_a: int, arity_b: int, rng: random.Random):
+    """Placements of gate B's qubits against gate A on ``[0, arity_a)``.
+
+    Enumerates every placement for small joint arities and samples for the
+    big (3q, 3q) combinations, always keeping at least one shared wire.
+    """
+    pool = range(arity_a + arity_b)
+    placements = [
+        perm
+        for perm in itertools.permutations(pool, arity_b)
+        if set(perm) & set(range(arity_a))
+    ]
+    if arity_a + arity_b > 5:
+        placements = rng.sample(placements, 12)
+    return placements
+
+
+def _explicit_commutator_vanishes(
+    gate_a: Gate, qubits_a, gate_b: Gate, qubits_b, num_qubits: int
+) -> bool:
+    """Reference verdict: embed each gate alone, multiply dense matrices."""
+    lone_a = QuantumCircuit(num_qubits)
+    lone_a.append(gate_a, qubits_a)
+    lone_b = QuantumCircuit(num_qubits)
+    lone_b.append(gate_b, qubits_b)
+    matrix_a = circuit_unitary(lone_a)
+    matrix_b = circuit_unitary(lone_b)
+    return bool(np.allclose(matrix_a @ matrix_b, matrix_b @ matrix_a, atol=1e-10))
+
+
+class TestCommutationTable:
+    def test_agrees_with_explicit_commutators_for_all_library_pairs(self):
+        rng = random.Random(42)
+        checked = 0
+        for gate_a, gate_b in itertools.combinations_with_replacement(
+            _LIBRARY_GATES, 2
+        ):
+            qubits_a = tuple(range(gate_a.num_qubits))
+            for qubits_b in _overlapping_placements(
+                gate_a.num_qubits, gate_b.num_qubits, rng
+            ):
+                num_qubits = max((*qubits_a, *qubits_b)) + 1
+                expected = _explicit_commutator_vanishes(
+                    gate_a, qubits_a, gate_b, qubits_b, num_qubits
+                )
+                assert gates_commute(gate_a, qubits_a, gate_b, qubits_b) == expected, (
+                    f"{gate_a} on {qubits_a} vs {gate_b} on {qubits_b}: "
+                    f"table says {not expected}, matrices say {expected}"
+                )
+                # Symmetry: the table must agree with itself both ways.
+                assert gates_commute(gate_b, qubits_b, gate_a, qubits_a) == expected
+                checked += 1
+        assert checked > 1000  # the sweep really is library-wide
+
+    def test_known_commutation_facts(self):
+        cx = library.cx_gate()
+        assert gates_commute(cx, (0, 1), library.z_gate(), (0,))
+        assert gates_commute(cx, (0, 1), library.t_gate(), (0,))
+        assert gates_commute(cx, (0, 1), library.x_gate(), (1,))
+        assert gates_commute(cx, (0, 1), library.rx_gate(0.3), (1,))
+        assert not gates_commute(cx, (0, 1), library.x_gate(), (0,))
+        assert not gates_commute(cx, (0, 1), library.z_gate(), (1,))
+        assert not gates_commute(cx, (0, 1), library.h_gate(), (0,))
+        # Shared control commutes; control-on-target does not.
+        assert gates_commute(cx, (0, 1), cx, (0, 2))
+        assert not gates_commute(cx, (0, 1), cx, (1, 2))
+        # A Toffoli commutes with a CNOT sharing only a control wire, but not
+        # with one whose target rewrites a Toffoli control.
+        assert gates_commute(library.ccx_gate(), (0, 1, 2), cx, (0, 3))
+        assert not gates_commute(library.ccx_gate(), (0, 1, 2), cx, (0, 1))
+        # Disjoint supports commute trivially.
+        assert gates_commute(cx, (0, 1), cx, (2, 3))
+
+    def test_non_unitary_operations_never_commute(self):
+        measure = library.measure_op()
+        assert not gates_commute(measure, (0,), library.z_gate(), (0,))
+        assert not gates_commute(library.z_gate(), (0,), measure, (0,))
+        assert not gates_commute(
+            library.barrier_op(2), (0, 1), library.z_gate(), (0,)
+        )
+
+    def test_memoization_shares_relative_placements(self):
+        clear_commutation_cache()
+        cx = library.cx_gate()
+        rz = library.rz_gate(0.25)
+        gates_commute(cx, (3, 7), rz, (3,))
+        size_after_first = commutation_cache_size()
+        assert size_after_first > 0
+        # Same relative placement on different absolute wires: cache hit.
+        gates_commute(cx, (10, 2), rz, (10,))
+        # Symmetric query: also primed.
+        gates_commute(rz, (5,), cx, (5, 6))
+        assert commutation_cache_size() == size_after_first
+
+    def test_instruction_wrapper_rejects_classical_bits(self):
+        from repro.circuits.circuit import Instruction
+
+        measure = Instruction(library.measure_op(), (0,), (0,))
+        gate = Instruction(library.z_gate(), (0,))
+        assert not instructions_commute(measure, gate)
+
+
+class TestCommutationAnalysisPass:
+    def test_runs_partition_the_wire_chains(self):
+        circuit = QuantumCircuit(2)
+        circuit.t(0).cx(0, 1).rz(0.5, 0).h(0).cx(0, 1)
+        properties = PropertySet()
+        CommutationAnalysisPass().run(circuit, properties)
+        sets = properties["commutation_sets"]
+        runs0 = sets.runs(0)
+        # Wire 0: [t, cx, rz] all commute (diagonals against the control);
+        # h commutes with neither side, so it is a singleton run, and the
+        # final cx starts another run after it.
+        assert [[node.name for node in run] for run in runs0] == [
+            ["t", "cx", "rz"], ["h"], ["cx"]
+        ]
+        # Signatures: the two cx gates sit in different runs on wire 0.
+        first_cx = runs0[0][1]
+        second_cx = runs0[2][0]
+        assert sets.run_index(first_cx, 0) == 0
+        assert sets.run_index(second_cx, 0) == 2
+        stats = properties["commutation_stats"]
+        assert stats["wires"] == 2
+        assert stats["max_run"] >= 3
+
+    def test_non_unitary_instructions_are_singleton_runs(self):
+        circuit = QuantumCircuit(1)
+        circuit.z(0).measure(0).z(0)
+        properties = PropertySet()
+        CommutationAnalysisPass().run(circuit, properties)
+        assert [len(run) for run in properties["commutation_sets"].runs(0)] == [1, 1, 1]
+
+    def test_run_index_unknown_wire_raises(self):
+        circuit = QuantumCircuit(2)
+        circuit.z(0)
+        properties = PropertySet()
+        CommutationAnalysisPass().run(circuit, properties)
+        sets = properties["commutation_sets"]
+        node = sets.runs(0)[0][0]
+        with pytest.raises(TranspilerError):
+            sets.run_index(node, 1)
+
+
+class TestCommutativeCancellationPass:
+    def run_pass(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        properties = PropertySet()
+        out = CommutativeCancellationPass(verify=True).run(circuit, properties)
+        # The node-bearing analysis entry must not leak into the property set
+        # (it would break pickling across the level-3 --jobs pool).
+        assert "commutation_sets" not in properties
+        return out
+
+    def test_cancels_cnot_pair_through_commuting_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).t(0).x(1).rz(0.7, 0).cx(0, 1)
+        out = self.run_pass(circuit)
+        assert out.count_ops().get("cx", 0) == 0
+        assert circuits_equivalent(circuit, out)
+
+    def test_does_not_cancel_through_blocking_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).h(0).cx(0, 1)
+        out = self.run_pass(circuit)
+        assert out.count_ops()["cx"] == 2
+
+    def test_cancels_inverse_pairs_not_just_self_inverses(self):
+        circuit = QuantumCircuit(2)
+        circuit.cp(0.4, 0, 1).rz(1.1, 0).z(1).cp(-0.4, 0, 1)
+        out = self.run_pass(circuit)
+        assert "cp" not in out.count_ops()
+        assert circuits_equivalent(circuit, out)
+
+    def test_odd_gate_counts_keep_one(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).t(0).cx(0, 1).x(1).cx(0, 1)
+        out = self.run_pass(circuit)
+        assert out.count_ops()["cx"] == 1
+        assert circuits_equivalent(circuit, out)
+
+    def test_merges_z_family_rotations_through_cx_controls(self):
+        circuit = QuantumCircuit(2)
+        circuit.t(0).cx(0, 1).s(0).cx(0, 1).tdg(0)
+        out = self.run_pass(circuit)
+        counts = out.count_ops()
+        # The cx pair annihilates and t·s·tdg merges to a single u1(pi/2).
+        assert counts == {"u1": 1}
+        assert out.instructions[0].gate.params[0] == pytest.approx(math.pi / 2)
+
+    def test_merges_x_family_on_cx_targets(self):
+        circuit = QuantumCircuit(2)
+        circuit.rx(0.4, 1).cx(0, 1).rx(-0.4, 1)
+        out = self.run_pass(circuit)
+        assert "rx" not in out.count_ops()
+        assert out.count_ops()["cx"] == 1
+        assert circuits_equivalent(circuit, out)
+
+    def test_full_turn_rotation_is_dropped(self):
+        circuit = QuantumCircuit(2)
+        circuit.z(0).cx(0, 1).z(0)
+        out = self.run_pass(circuit)
+        assert out.count_ops() == {"cx": 1}
+
+    def test_hadamard_pair_through_commuting_neighbour(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).rz(0.3, 1).h(0)
+        out = self.run_pass(circuit)
+        assert "h" not in out.count_ops()
+
+    def test_gate_count_depth_and_cnots_never_increase(self):
+        rng = random.Random(99)
+        for _ in range(25):
+            num_qubits = rng.randint(2, 5)
+            circuit = QuantumCircuit(num_qubits)
+            for _ in range(rng.randint(1, 20)):
+                choice = rng.random()
+                qubits = rng.sample(range(num_qubits), 2)
+                if choice < 0.5:
+                    getattr(circuit, rng.choice(["t", "s", "z", "x", "h"]))(qubits[0])
+                else:
+                    circuit.cx(qubits[0], qubits[1])
+            out = self.run_pass(circuit)
+            assert len(out) <= len(circuit)
+            assert out.depth() <= circuit.depth()
+            assert (out.two_qubit_gate_count(count_swap_as=3)
+                    <= circuit.two_qubit_gate_count(count_swap_as=3))
+
+    def test_verify_mode_catches_a_broken_rewrite(self):
+        class BrokenCancellation(CommutativeCancellationPass):
+            def _merge_rotations(self, dag, sets, removed):
+                # Sabotage: drop the first surviving CNOT outright.
+                for node in list(dag):
+                    if node.name == "cx" and node not in removed:
+                        dag.remove_node(node)
+                        return
+
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).t(0)
+        with pytest.raises(TranspilerError, match="non-equivalent"):
+            BrokenCancellation(verify=True).run(circuit, PropertySet())
+        # The same sabotage without verify goes unnoticed — the debug mode is
+        # what turns the harness into a pass-level safety net.
+        BrokenCancellation(verify=False).run(circuit, PropertySet())
+
+
+# ----------------------------------------------------------------------
+# Satellite: every optimisation pass (old and new) preserves equivalence on
+# random circuits, via the sim.equivalence helpers.
+# ----------------------------------------------------------------------
+_OPTIMIZATION_PASSES = {
+    "decompose_swaps": DecomposeSwapsPass,
+    "cancel_adjacent": CancelAdjacentInversesPass,
+    "consolidate_1q": Consolidate1qRunsPass,
+    "remove_identities": RemoveIdentitiesPass,
+    "commutative_cancellation": CommutativeCancellationPass,
+    "commutation_loop": lambda: FixedPoint(
+        [
+            CommutativeCancellationPass(),
+            CancelAdjacentInversesPass(),
+            Consolidate1qRunsPass(),
+            RemoveIdentitiesPass(),
+        ]
+    ),
+}
+
+
+@st.composite
+def optimization_workloads(draw, max_qubits: int = 6, max_gates: int = 18):
+    """Random ≤6-qubit circuits biased toward cancellable structure."""
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    circuit = QuantumCircuit(num_qubits, "workload")
+    for _ in range(draw(st.integers(min_value=1, max_value=max_gates))):
+        kind = draw(st.sampled_from(
+            ["1q", "1q", "rot", "cx", "cx", "cz", "swap", "ccx", "cp"]
+        ))
+        qubits = draw(
+            st.lists(st.integers(0, num_qubits - 1), min_size=min(3, num_qubits),
+                     max_size=min(3, num_qubits), unique=True)
+        )
+        if kind == "1q":
+            getattr(circuit, draw(st.sampled_from(
+                ("h", "x", "y", "z", "s", "sdg", "t", "tdg")
+            )))(qubits[0])
+        elif kind == "rot":
+            angle = draw(st.floats(-math.pi, math.pi, allow_nan=False))
+            if draw(st.booleans()):
+                circuit.rz(angle, qubits[0])
+            else:
+                circuit.rx(angle, qubits[0])
+        elif kind == "cx":
+            circuit.cx(qubits[0], qubits[1])
+        elif kind == "cz":
+            circuit.cz(qubits[0], qubits[1])
+        elif kind == "swap":
+            circuit.swap(qubits[0], qubits[1])
+        elif kind == "cp":
+            circuit.cp(draw(st.floats(-3, 3, allow_nan=False)), qubits[0], qubits[1])
+        elif num_qubits >= 3:
+            circuit.ccx(qubits[0], qubits[1], qubits[2])
+    return circuit
+
+
+class TestEveryOptimizationPassPreservesEquivalence:
+    @pytest.mark.parametrize("pass_name", sorted(_OPTIMIZATION_PASSES))
+    @given(circuit=optimization_workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_pass_preserves_unitary_equivalence(self, pass_name, circuit):
+        out = _OPTIMIZATION_PASSES[pass_name]().run(circuit, PropertySet())
+        # atol accommodates Consolidate1qRunsPass's ZYZ resynthesis, whose
+        # float error is ~1e-6 on adversarial angle combinations; genuine
+        # rewrite bugs deviate by O(1).
+        assert_unitary_equivalent(
+            circuit, out, atol=1e-5, context=f"optimisation pass {pass_name}"
+        )

@@ -1,0 +1,229 @@
+"""The formal equivalence-checking harness (`repro.sim.equivalence`).
+
+Covers both checking methods (exact unitary, randomized statevector), their
+agreement, the layout-aware compiled-vs-logical check, and the diagnostic
+assertion helpers the passes' debug mode and the benchmark harness rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QuantumCircuit, transpile
+from repro.exceptions import EquivalenceError, SimulationError
+from repro.hardware import johannesburg
+from repro.sim import (
+    assert_routed_equivalent,
+    assert_unitary_equivalent,
+    circuits_equivalent,
+    permutation_unitary,
+    phase_aligned_distance,
+    routed_circuits_equivalent,
+    unpermute_statevector,
+)
+from repro.sim.equivalence import MAX_UNITARY_QUBITS
+
+
+def bell_pair() -> QuantumCircuit:
+    circuit = QuantumCircuit(2)
+    circuit.h(0).cx(0, 1)
+    return circuit
+
+
+@st.composite
+def random_circuits(draw, min_qubits=2, max_qubits=5, max_gates=12):
+    num_qubits = draw(st.integers(min_value=min_qubits, max_value=max_qubits))
+    circuit = QuantumCircuit(num_qubits, "rand")
+    for _ in range(draw(st.integers(min_value=1, max_value=max_gates))):
+        kind = draw(st.sampled_from(["1q", "2q", "rot"]))
+        qubits = draw(
+            st.lists(st.integers(0, num_qubits - 1), min_size=2, max_size=2,
+                     unique=True)
+        )
+        if kind == "1q":
+            getattr(circuit, draw(st.sampled_from(("h", "x", "s", "t"))))(qubits[0])
+        elif kind == "2q":
+            circuit.cx(qubits[0], qubits[1])
+        else:
+            circuit.rz(draw(st.floats(-3, 3, allow_nan=False)), qubits[0])
+    return circuit
+
+
+class TestCircuitsEquivalent:
+    def test_identical_circuits_are_equivalent(self):
+        assert circuits_equivalent(bell_pair(), bell_pair())
+
+    def test_extra_gate_breaks_equivalence(self):
+        other = bell_pair()
+        other.t(1)
+        assert not circuits_equivalent(bell_pair(), other)
+
+    def test_width_mismatch_is_inequivalent(self):
+        assert not circuits_equivalent(bell_pair(), QuantumCircuit(3))
+
+    def test_global_phase_handling(self):
+        # rz(theta) == u1(theta) up to the global phase e^{-i theta/2}.
+        with_rz = QuantumCircuit(1)
+        with_rz.rz(0.7, 0)
+        with_u1 = QuantumCircuit(1)
+        with_u1.u1(0.7, 0)
+        assert circuits_equivalent(with_rz, with_u1)
+        assert not circuits_equivalent(
+            with_rz, with_u1, up_to_global_phase=False
+        )
+        assert_unitary_equivalent(with_rz, with_u1)
+        with pytest.raises(EquivalenceError):
+            assert_unitary_equivalent(with_rz, with_u1, up_to_global_phase=False)
+
+    def test_measures_and_barriers_are_stripped(self):
+        measured = bell_pair()
+        measured.barrier(0, 1)
+        measured.measure(0, 0)
+        assert circuits_equivalent(bell_pair(), measured)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SimulationError):
+            circuits_equivalent(bell_pair(), bell_pair(), method="oracle")
+
+    def test_final_permutation_both_methods(self):
+        routed = bell_pair()
+        routed.swap(0, 1)
+        for method in ("unitary", "statevector"):
+            assert circuits_equivalent(
+                bell_pair(), routed, {0: 1, 1: 0}, method=method
+            )
+            assert not circuits_equivalent(bell_pair(), routed, method=method)
+
+    @given(circuit=random_circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_methods_agree_on_random_circuits(self, circuit):
+        # Same circuit: both methods say yes.
+        assert circuits_equivalent(circuit, circuit, method="unitary")
+        assert circuits_equivalent(circuit, circuit, method="statevector")
+        # A perturbed copy: both methods say no.
+        perturbed = circuit.copy()
+        perturbed.rx(1.0, 0)
+        assert not circuits_equivalent(circuit, perturbed, method="unitary")
+        assert not circuits_equivalent(circuit, perturbed, method="statevector")
+
+    def test_auto_switches_to_statevector_beyond_unitary_limit(self):
+        wide = QuantumCircuit(MAX_UNITARY_QUBITS + 2)
+        wide.h(0)
+        for qubit in range(MAX_UNITARY_QUBITS + 1):
+            wide.cx(qubit, qubit + 1)
+        # The unitary method would need a 2^12 x 2^12 matrix; auto must not.
+        assert circuits_equivalent(wide, wide)
+        broken = wide.copy()
+        broken.z(3)
+        assert not circuits_equivalent(wide, broken)
+
+
+class TestUnpermuteStatevector:
+    def test_matches_permutation_unitary(self):
+        rng = np.random.default_rng(5)
+        for num_qubits in (2, 3, 4):
+            for _ in range(4):
+                targets = [int(x) for x in rng.permutation(num_qubits)]
+                permutation = dict(enumerate(targets))
+                state = rng.normal(size=2**num_qubits) + 1j * rng.normal(
+                    size=2**num_qubits
+                )
+                dense = permutation_unitary(permutation, num_qubits)
+                assert np.allclose(
+                    unpermute_statevector(state, permutation, num_qubits),
+                    dense.conj().T @ state,
+                )
+
+    def test_rejects_non_bijection(self):
+        with pytest.raises(SimulationError):
+            unpermute_statevector(np.zeros(4), {0: 1, 1: 1}, 2)
+
+
+class TestAssertUnitaryEquivalent:
+    def test_error_message_carries_diagnostics(self):
+        good = bell_pair()
+        bad = bell_pair()
+        bad.t(0)
+        with pytest.raises(EquivalenceError) as excinfo:
+            assert_unitary_equivalent(good, bad, context="unit test")
+        message = str(excinfo.value)
+        assert "unit test" in message
+        assert "deviation" in message
+        assert "cx" in message  # the gate histograms are included
+
+    def test_equivalence_error_is_assertion_and_simulation_error(self):
+        assert issubclass(EquivalenceError, AssertionError)
+        assert issubclass(EquivalenceError, SimulationError)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(EquivalenceError, match="widths"):
+            assert_unitary_equivalent(bell_pair(), QuantumCircuit(3))
+
+    def test_phase_aligned_distance_zero_for_phased_copy(self):
+        unitary = np.array([[1, 0], [0, 1j]], dtype=complex)
+        assert phase_aligned_distance(unitary, np.exp(0.3j) * unitary) < 1e-12
+        assert phase_aligned_distance(
+            unitary, np.array([[0, 1], [1, 0]], dtype=complex)
+        ) > 0.5
+
+
+class TestRoutedEquivalence:
+    def _compile(self, level=1):
+        program = QuantumCircuit(4, "prog")
+        program.h(0).cx(0, 1).ccx(0, 1, 2).t(2).cx(2, 3)
+        return program, transpile(
+            program, johannesburg(), method="trios", seed=3,
+            optimization_level=level,
+        )
+
+    def test_transpiled_circuit_passes(self):
+        program, result = self._compile()
+        fidelity = routed_circuits_equivalent(
+            program,
+            result.circuit,
+            result.initial_layout.to_dict(),
+            result.final_layout.to_dict(),
+        )
+        assert fidelity > 1 - 1e-7
+        # And via the CompilationResult convenience method.
+        result.assert_equivalent(program)
+
+    def test_wrong_final_layout_fails(self):
+        program, result = self._compile()
+        final = result.final_layout.to_dict()
+        physical = sorted(final.values())
+        rotated = {q: physical[(physical.index(w) + 1) % len(physical)]
+                   for q, w in final.items()}
+        if rotated == final:  # pragma: no cover - degenerate layout
+            pytest.skip("layout rotation degenerate")
+        with pytest.raises(EquivalenceError):
+            assert_routed_equivalent(
+                program, result.circuit,
+                result.initial_layout.to_dict(), rotated,
+            )
+
+    def test_corrupted_compilation_fails(self):
+        program, result = self._compile()
+        corrupted = result.circuit.copy()
+        corrupted.x(result.final_layout.to_dict()[0])
+        with pytest.raises(EquivalenceError):
+            assert_routed_equivalent(
+                program, corrupted,
+                result.initial_layout.to_dict(),
+                result.final_layout.to_dict(),
+            )
+
+    def test_too_many_active_wires_raises(self):
+        program, result = self._compile()
+        with pytest.raises(SimulationError, match="too many"):
+            routed_circuits_equivalent(
+                program, result.circuit,
+                result.initial_layout.to_dict(),
+                result.final_layout.to_dict(),
+                max_active=2,
+            )
