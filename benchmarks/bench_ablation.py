@@ -10,7 +10,6 @@ ingredient removed, over a pool of random Toffoli placements on Johannesburg:
 """
 
 import random
-import statistics
 
 from repro import QuantumCircuit, compile_baseline, compile_trios
 from repro.experiments import geometric_mean

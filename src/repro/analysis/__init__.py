@@ -1,0 +1,43 @@
+"""Static analysis over the DAG IR: linting, diagnostics and pass contracts.
+
+This package is the compiler's *static* safety net, complementing the
+simulation-based :mod:`repro.sim.equivalence` harness (which is exact but
+bounded at ~20 qubits).  Everything here is structural and runs at any
+circuit width:
+
+* :class:`CircuitLinter` — rule-based checks over circuits/DAGs/compilation
+  results, emitting :class:`Diagnostic` findings with stable ``QLxxx`` codes;
+* :class:`ContractValidator` — enforces the ``requires``/``establishes``/
+  ``preserves``/``invalidates`` contracts every pass declares, hooked into
+  ``PassManager(validate="contracts"|"full")``;
+* the ``repro lint`` CLI subcommand (see :mod:`repro.experiments.cli`).
+"""
+
+from .contracts import (
+    PROPERTY_CHECKERS,
+    VALIDATE_ENV_VAR,
+    VALIDATION_MODES,
+    ContractValidator,
+    resolve_validation_mode,
+)
+from .diagnostics import Diagnostic, LintReport, Severity
+from .linter import CircuitLinter, lint_circuit, structural_linter
+from .rules import ALL_RULES, RULES_BY_CODE, LintContext, LintRule
+
+__all__ = [
+    "ALL_RULES",
+    "PROPERTY_CHECKERS",
+    "RULES_BY_CODE",
+    "VALIDATE_ENV_VAR",
+    "VALIDATION_MODES",
+    "CircuitLinter",
+    "ContractValidator",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "Severity",
+    "lint_circuit",
+    "resolve_validation_mode",
+    "structural_linter",
+]

@@ -9,7 +9,7 @@ no overhead on such programs.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -23,7 +23,7 @@ tests verify this truth table exhaustively for small sizes.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import BenchmarkError

@@ -9,7 +9,7 @@ EXPERIMENTS.md).  :func:`benchmark_statistics` reproduces the Table 1 columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import BenchmarkError

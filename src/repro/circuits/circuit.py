@@ -12,9 +12,8 @@ integers and are only produced by ``measure`` instructions.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import CircuitError
 from . import library
@@ -214,6 +213,9 @@ class QuantumCircuit:
 
     def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
         return self.append(library.rzz_gate(theta), (a, b))
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(library.crz_gate(theta), (control, target))
 
     def swap(self, a: int, b: int) -> "QuantumCircuit":
         return self.append(library.swap_gate(), (a, b))

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..exceptions import CircuitError
 from .circuit import QuantumCircuit

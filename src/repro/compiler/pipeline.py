@@ -25,9 +25,10 @@ pin this against frozen hashes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from ..analysis.contracts import resolve_validation_mode
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import TranspilerError
 from ..hardware.calibration import DeviceCalibration
@@ -99,6 +100,7 @@ class _TranspileContext:
     second_decomposition: str
     overlap_optimization: bool
     edge_weights: Optional[Mapping[Tuple[int, int], float]]
+    validate_mode: Union[None, bool, str] = None
 
 
 def _cleanup_loop() -> FixedPoint:
@@ -294,7 +296,7 @@ def build_pass_manager(method: str, ctx: _TranspileContext) -> PassManager:
         stage_names = PIPELINES[method]
     except KeyError as exc:
         raise TranspilerError(f"unknown compilation method {method!r}") from exc
-    manager = PassManager()
+    manager = PassManager(validate=ctx.validate_mode)
     for stage_name in stage_names:
         stage = STAGE_BUILDERS[stage_name](ctx)
         if stage is not None:
@@ -329,7 +331,7 @@ def transpile(
     overlap_optimization: Optional[bool] = None,
     calibration: Optional[DeviceCalibration] = None,
     optimize: Optional[bool] = None,
-    validate: bool = True,
+    validate: Union[bool, str] = True,
     seed_trials: Optional[int] = None,
     jobs: int = 1,
 ) -> CompilationResult:
@@ -376,7 +378,14 @@ def transpile(
         calibration: Convenience: folded into an uncalibrated target.
         optimize: Legacy boolean; maps to optimization level 1 (True) / 0
             (False) when ``optimization_level`` is not given.
-        validate: Verify the result respects the coupling map.
+        validate: ``False`` disables all checking.  Any other value keeps
+            the final coupling-map connectivity check and additionally
+            selects the pass-contract validation mode (see
+            :mod:`repro.analysis.contracts`): ``True`` defers to the
+            ``REPRO_VALIDATE`` environment variable, ``"contracts"`` checks
+            declared pass contracts between stages, ``"full"`` also lints
+            the IR structurally and re-verifies held invariants after every
+            pass, attributing the first violation to the offending pass.
         seed_trials: Number of layout/routing seeds the level-3 search
             tries (default :data:`DEFAULT_SEED_TRIALS`); only meaningful —
             and only accepted — at ``optimization_level=3``.
@@ -443,6 +452,15 @@ def transpile(
         if resolved.calibration is None:
             raise TranspilerError("noise-aware routing requires a calibration")
         edge_weights = resolved.noise_edge_weights()
+    # validate=False turns everything off; validate=True defers the contract
+    # mode to the environment (REPRO_VALIDATE); an explicit string picks it.
+    if validate is False:
+        validate_mode: Union[None, bool, str] = "off"
+    elif validate is True:
+        validate_mode = None
+    else:
+        validate_mode = validate
+    validate_mode = resolve_validation_mode(validate_mode)
     ctx = _TranspileContext(
         target=resolved,
         layout=layout,
@@ -453,6 +471,7 @@ def transpile(
         second_decomposition=second_decomposition,
         overlap_optimization=overlap_optimization,
         edge_weights=edge_weights,
+        validate_mode=validate_mode,
     )
     if method == "baseline":
         method_label = f"baseline-{toffoli_mode}"
@@ -495,6 +514,7 @@ def _seed_candidate(payload: Tuple["_TranspileContext", str, QuantumCircuit, Opt
         second_decomposition=base_ctx.second_decomposition,
         overlap_optimization=base_ctx.overlap_optimization,
         edge_weights=base_ctx.edge_weights,
+        validate_mode=base_ctx.validate_mode,
     )
     compiled, properties = build_pass_manager(method, ctx).run(circuit)
     cnots = compiled.two_qubit_gate_count(count_swap_as=3)
@@ -561,9 +581,9 @@ def _finish(
     target: Target,
     method: str,
     source_name: str,
-    validate: bool,
+    validate: Union[bool, str],
 ) -> CompilationResult:
-    if validate:
+    if validate is not False and validate != "off":
         violations = check_connectivity(circuit, target.coupling_map)
         if violations:
             raise TranspilerError(

@@ -11,7 +11,10 @@ duration and the analytic success-probability estimate (§2.6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis import LintReport
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import TranspilerError
@@ -168,6 +171,22 @@ class CompilationResult:
             seed=seed,
             max_active=max_active,
             context=f"{self.method} compilation of {self.source_name!r}",
+        )
+
+    def lint(self, suppress=()) -> "LintReport":
+        """Run the static circuit linter over this compilation.
+
+        Checks the compiled circuit's structural IR invariants, hardware
+        legality against this result's target/coupling map, the recorded
+        layouts, and the resource rules (see :mod:`repro.analysis.rules` for
+        the ``QLxxx`` codes).  Returns a
+        :class:`~repro.analysis.LintReport`; a correct compilation lints
+        without error-severity findings.
+        """
+        from ..analysis import CircuitLinter
+
+        return CircuitLinter(suppress=suppress).lint(
+            self, name=f"{self.method}:{self.source_name or self.circuit.name}"
         )
 
     # ------------------------------------------------------------------

@@ -37,8 +37,27 @@ class HardwareError(ReproError):
     """Raised for invalid hardware topology or calibration data."""
 
 
+class AnalysisError(ReproError):
+    """Raised when the static-analysis layer is used incorrectly.
+
+    This is an error in how the :mod:`repro.analysis` machinery was invoked
+    (unknown rule code, bad validation mode, ...) — *findings* about a circuit
+    are reported as :class:`repro.analysis.Diagnostic` objects, not raised.
+    """
+
+
 class TranspilerError(ReproError):
     """Raised when a compiler pass cannot transform a circuit."""
+
+
+class ContractViolationError(TranspilerError):
+    """Raised when a pass breaks a declared pipeline contract.
+
+    Carries the name of the offending pass and the violated invariant; the
+    same information is recorded under ``properties["contract_violation"]``
+    before the raise, so harnesses that catch the error can still attribute
+    it (the ``PassManager(validate=...)`` telemetry contract).
+    """
 
 
 class RoutingError(TranspilerError):

@@ -24,7 +24,6 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..bench_circuits.suite import (
     PAPER_BENCHMARKS,
     TOFFOLI_BENCHMARKS,
-    TOFFOLI_FREE_BENCHMARKS,
     get_benchmark,
 )
 from ..circuits.circuit import QuantumCircuit

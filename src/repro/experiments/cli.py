@@ -158,6 +158,38 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="worker processes for the level-3 seed "
                                   "search (only with --opt-level 3)")
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically lint QASM files or compiled benchmarks "
+             "(exits non-zero on error-severity findings)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="FILE.qasm",
+                      help="QASM files to lint")
+    lint.add_argument("--benchmark", default=None, metavar="NAME",
+                      help="compile this Table 1 benchmark and lint the output")
+    lint.add_argument("--pipeline", default="trios", choices=sorted(PIPELINES),
+                      help="pipeline for --benchmark (default: trios)")
+    lint.add_argument("--topology", default="ibmq-johannesburg",
+                      choices=sorted(PAPER_TOPOLOGIES),
+                      help="target device; for QASM files this enables the "
+                           "hardware-legality rules")
+    lint.add_argument("--no-target", action="store_true",
+                      help="lint QASM files without a device target "
+                           "(structural and resource rules only)")
+    lint.add_argument("--seed", type=int, default=11, help="routing seed")
+    lint.add_argument("--optimization-level", "--opt-level", type=int,
+                      default=1, choices=[0, 1, 2, 3],
+                      dest="optimization_level",
+                      help="transpile() level for --benchmark / --fig9-10")
+    lint.add_argument("--format", default="table", choices=["table", "json"],
+                      dest="output_format", help="diagnostic output format")
+    lint.add_argument("--suppress", nargs="+", metavar="CODE", default=(),
+                      help="rule codes to suppress, e.g. QL201 QL202")
+    lint.add_argument("--fig9-10", action="store_true", dest="fig9_10",
+                      help="compile and lint every Fig 9/10 sweep cell "
+                           "(all benchmarks x topologies x both pipelines); "
+                           "the CI lint gate")
+
     subparsers.add_parser("all", help="Run everything (may take a minute)")
     return parser
 
@@ -268,6 +300,88 @@ def _run_compile(benchmark: str, pipeline: str, topology: str, seed: int,
                   + ("" if record["admissible"] else " (inadmissible)"))
 
 
+def _print_report(report, output_format: str) -> None:
+    if output_format == "json":
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+        return
+    print(f"[lint] {report.subject}: {report.summary()}")
+    if report:
+        print(report.to_table())
+
+
+def _run_lint(paths: Sequence[str], benchmark: Optional[str], pipeline: str,
+              topology: str, seed: int, optimization_level: int,
+              output_format: str, suppress: Sequence[str],
+              fig9_10: bool, no_target: bool) -> int:
+    """The ``repro lint`` subcommand; returns the process exit code."""
+    from ..analysis import CircuitLinter
+    from ..circuits.qasm import from_qasm
+
+    if not paths and benchmark is None and not fig9_10:
+        print("nothing to lint: give QASM paths, --benchmark or --fig9-10",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    reports = []
+
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            circuit = from_qasm(handle.read())
+        target = None if no_target else by_name(topology)
+        linter = CircuitLinter(target=target, suppress=suppress)
+        reports.append(linter.lint(circuit, name=path))
+
+    if benchmark is not None:
+        result = transpile(
+            get_benchmark(benchmark), by_name(topology), method=pipeline,
+            seed=seed, optimization_level=optimization_level,
+        )
+        linter = CircuitLinter(suppress=suppress)
+        reports.append(
+            linter.lint(result, name=f"{benchmark}|{topology}|{pipeline}")
+        )
+
+    if fig9_10:
+        # The Fig 9/10 sweep, cell for cell (same loop as
+        # benchmarks/freeze_fig9_10_reference.py): every compiled output must
+        # lint without error-severity findings.
+        from ..bench_circuits import PAPER_BENCHMARKS
+
+        linter = CircuitLinter(suppress=suppress)
+        cells = skipped = 0
+        for label, builder in PAPER_TOPOLOGIES.items():
+            coupling_map = builder()
+            for name in sorted(PAPER_BENCHMARKS):
+                circuit = get_benchmark(name)
+                if circuit.num_qubits > coupling_map.num_qubits:
+                    skipped += 1
+                    continue
+                for method in ("baseline", "trios"):
+                    result = transpile(
+                        circuit, coupling_map, method=method, seed=seed,
+                        optimization_level=optimization_level,
+                    )
+                    cells += 1
+                    reports.append(
+                        linter.lint(result, name=f"{label}|{name}|{method}")
+                    )
+        print(f"[lint] Fig 9/10 sweep: {cells} cells compiled and linted "
+              f"({skipped} skipped: circuit wider than device)")
+
+    for report in reports:
+        _print_report(report, output_format)
+        if report.has_errors:
+            failed = True
+    if len(reports) > 1 and output_format == "table":
+        errors = sum(len(r.errors()) for r in reports)
+        print(f"\n[lint] {len(reports)} subjects, {errors} error-severity "
+              f"finding(s) -> {'FAIL' if failed else 'OK'}")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -293,6 +407,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_compile(args.benchmark, args.pipeline, args.topology, args.seed,
                      args.optimization_level, seed_trials=args.seed_trials,
                      jobs=args.jobs)
+    elif args.command == "lint":
+        return _run_lint(args.paths, args.benchmark, args.pipeline,
+                         args.topology, args.seed, args.optimization_level,
+                         args.output_format, tuple(args.suppress),
+                         args.fig9_10, args.no_target)
     elif args.command == "all":
         _run_table1()
         print("\n")

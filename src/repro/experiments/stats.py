@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+from typing import Iterable
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -11,8 +11,8 @@ consumers (experiments, reports) see what was compiled for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
 
 from ..exceptions import TranspilerError
 from .calibration import DeviceCalibration
@@ -30,11 +30,21 @@ class Target:
     calibration: Optional[DeviceCalibration] = None
     basis_gates: Tuple[str, ...] = DEFAULT_BASIS_GATES
     name: str = ""
+    #: Native drive directions for direction-sensitive 2q gates.  ``None``
+    #: (the default, and the paper's device model) means the coupling map is
+    #: undirected and either orientation is legal; when set, the linter's
+    #: QL102 rule flags gates running against the declared direction.
+    directed_edges: Optional[FrozenSet[Tuple[int, int]]] = None
 
     def __post_init__(self) -> None:
         self.basis_gates = tuple(self.basis_gates)
         if not self.name:
             self.name = self.coupling_map.name
+        if self.directed_edges is not None:
+            edges: Iterable[Tuple[int, int]] = self.directed_edges
+            self.directed_edges = frozenset(
+                (int(a), int(b)) for a, b in edges
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -52,7 +62,11 @@ class Target:
         if isinstance(target, Target):
             if calibration is not None and target.calibration is None:
                 return cls(
-                    target.coupling_map, calibration, target.basis_gates, target.name
+                    target.coupling_map,
+                    calibration,
+                    target.basis_gates,
+                    target.name,
+                    target.directed_edges,
                 )
             return target
         if isinstance(target, CouplingMap):

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.dag import DagCircuit
@@ -75,6 +75,20 @@ class BasePass(ABC):
     #: Set by combinators (e.g. :class:`FixedPoint`) that time their inner
     #: passes themselves, so the pass manager does not double-record them.
     records_own_telemetry = False
+
+    # -- pass contracts (see repro.analysis.contracts) -------------------
+    #: Pipeline properties that must hold before this pass runs.
+    requires: Tuple[str, ...] = ()
+    #: Pipeline properties guaranteed to hold after this pass.
+    establishes: Tuple[str, ...] = ()
+    #: Properties this pass keeps intact: ``"*"`` (everything not explicitly
+    #: invalidated) or an explicit tuple.
+    preserves: Union[str, Tuple[str, ...]] = "*"
+    #: Properties this pass may destroy.
+    invalidates: Tuple[str, ...] = ()
+    #: Per-execution assertions (e.g. ``"gate_count_nonincreasing"``) the
+    #: contract validator evaluates after every run of this pass.
+    checks: Tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
@@ -138,6 +152,10 @@ class AnalysisPass(BasePass):
 class TransformationPass(BasePass):
     """A pass that rewrites the DAG (in place or by returning a new one)."""
 
+    #: Any rewrite invalidates a previously computed schedule by default;
+    #: passes that keep timing intact override this back to ``()``.
+    invalidates: Tuple[str, ...] = ("scheduled",)
+
     @abstractmethod
     def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         """Rewrite ``dag``; return the resulting DAG (may be ``dag`` itself)."""
@@ -182,6 +200,54 @@ class FixedPoint(TransformationPass):
     def name(self) -> str:
         inner = ", ".join(p.name for p in self.passes)
         return f"FixedPoint[{inner}]"
+
+    # -- aggregated contracts -------------------------------------------
+    # The combinator's contract is derived from its inner passes by
+    # simulating one sweep in order: a requirement satisfied by an earlier
+    # inner pass does not leak out, an invalidated property that is
+    # re-established by sweep end is not reported as invalidated, and a
+    # check only holds for the loop if every inner pass declares it.
+    def _simulate_sweep(self):
+        requires: List[str] = []
+        established: set = set()
+        absent: set = set()
+        checks: Optional[set] = None
+        for single_pass in self.passes:
+            for req in single_pass.requires:
+                if req not in established and req not in requires:
+                    requires.append(req)
+            if single_pass.preserves != "*":
+                established &= set(single_pass.preserves)
+            for prop in single_pass.invalidates:
+                established.discard(prop)
+                absent.add(prop)
+            for prop in single_pass.establishes:
+                established.add(prop)
+                absent.discard(prop)
+            inner_checks = set(single_pass.checks)
+            checks = inner_checks if checks is None else checks & inner_checks
+        return (
+            tuple(requires),
+            tuple(sorted(established)),
+            tuple(sorted(absent)),
+            tuple(sorted(checks or ())),
+        )
+
+    @property
+    def requires(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return self._simulate_sweep()[0]
+
+    @property
+    def establishes(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return self._simulate_sweep()[1]
+
+    @property
+    def invalidates(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return self._simulate_sweep()[2]
+
+    @property
+    def checks(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return self._simulate_sweep()[3]
 
     def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         stage = properties.get("_current_stage")
@@ -244,13 +310,26 @@ class PassManager:
     The input circuit is converted to a :class:`DagCircuit` once, every pass
     runs on the DAG, and the final DAG is linearised back to a circuit once —
     transformation passes never round-trip through an instruction list.
+
+    ``validate`` selects contract checking (see
+    :mod:`repro.analysis.contracts`): ``"off"`` runs no checks,
+    ``"contracts"`` (or ``True``) checks the declared
+    ``requires``/``establishes``/``invalidates`` contracts and per-pass
+    ``checks``, ``"full"`` additionally lints the IR structurally and
+    re-verifies held properties against the DAG after every pass.  ``None``
+    (the default) defers to the ``REPRO_VALIDATE`` environment variable,
+    which the test suite and CI set to ``full``.
     """
 
     def __init__(
         self,
         passes: Optional[Sequence[Union[BasePass, Stage]]] = None,
+        validate: Union[None, bool, str] = None,
     ) -> None:
+        from ..analysis.contracts import resolve_validation_mode
+
         self._units: List[Tuple[Optional[str], BasePass]] = []
+        self.validate = resolve_validation_mode(validate)
         for item in passes or []:
             self.append(item)
 
@@ -298,8 +377,15 @@ class PassManager:
         was_circuit = isinstance(circuit, QuantumCircuit)
         dag = DagCircuit.from_circuit(circuit) if was_circuit else circuit
         history: List[str] = properties.setdefault("pass_history", [])
+        validator = None
+        if self.validate != "off":
+            from ..analysis.contracts import ContractValidator
+
+            validator = ContractValidator(self.validate)
         for stage, single_pass in self._units:
             properties["_current_stage"] = stage
+            if validator is not None:
+                validator.before_pass(single_pass, dag, properties)
             start = time.perf_counter()
             size_before = len(dag)
             dag = single_pass.execute(dag, properties)
@@ -314,6 +400,8 @@ class PassManager:
                     size_before,
                     len(dag),
                 )
+            if validator is not None:
+                validator.after_pass(single_pass, dag, properties)
             history.append(single_pass.name)
         properties.pop("_current_stage", None)
         return (dag.to_circuit() if was_circuit else dag), properties

@@ -9,12 +9,11 @@ through mapping and routing and only decomposes them afterwards
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.circuit import Instruction
 from ..circuits.dag import DagCircuit
 from ..circuits import library
-from ..circuits.gate import Gate
 from ..exceptions import TranspilerError
 from .base import PropertySet, TransformationPass
 from .synthesis import u3_from_matrix
@@ -151,6 +150,10 @@ class DecomposeToBasisPass(TransformationPass):
         self.basis: Set[str] = set(basis) | set(self._ALWAYS_ALLOWED)
         self.keep: Set[str] = set(keep)
         self.toffoli_mode = toffoli_mode
+        # Contract: only when no multi-qubit gate is deliberately kept does
+        # the unroll guarantee a 1q/2q-only ("decomposed") circuit.
+        if not self.keep & {"ccx", "ccz", "cswap"}:
+            self.establishes = ("decomposed",)
 
     # ------------------------------------------------------------------
     def _expand(self, instruction: Instruction) -> List[Instruction]:
@@ -175,6 +178,9 @@ class DecomposeToBasisPass(TransformationPass):
         return [piece.remap(mapping) for piece in template]
 
     def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
+        # Record the basis for downstream consumers (the lint CLI checks
+        # compiled output against it).
+        properties.setdefault("basis_gates", tuple(sorted(self.basis)))
         # Expand one level at a time, in place: an out-of-basis node is
         # substituted by its (possibly still out-of-basis) pieces and the
         # cursor re-examines the first piece, exactly like the old worklist.

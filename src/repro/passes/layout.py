@@ -12,7 +12,7 @@ CNOT-success distance, mirroring the noise-aware extension described in §4.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.dag import DagCircuit
@@ -26,7 +26,10 @@ class Layout:
     """A bijection between logical (program) qubits and physical (device) qubits."""
 
     def __init__(self, logical_to_physical: Mapping[int, int]) -> None:
-        self._l2p: Dict[int, int] = {int(l): int(p) for l, p in logical_to_physical.items()}
+        self._l2p: Dict[int, int] = {
+            int(logical): int(physical)
+            for logical, physical in logical_to_physical.items()
+        }
         self._p2l: Dict[int, int] = {}
         for logical, physical in self._l2p.items():
             if physical in self._p2l:
@@ -96,6 +99,8 @@ class Layout:
 class TrivialLayoutPass(AnalysisPass):
     """Place logical qubit ``i`` on physical qubit ``i``."""
 
+    establishes = ("laid_out",)
+
     def __init__(self, coupling_map: CouplingMap) -> None:
         self.coupling_map = coupling_map
 
@@ -116,6 +121,8 @@ class FixedLayoutPass(AnalysisPass):
     physical locations and "fix the initial mapping to force routing to occur";
     this pass is how the experiment harness does that.
     """
+
+    establishes = ("laid_out",)
 
     def __init__(self, coupling_map: CouplingMap, mapping: Mapping[int, int]) -> None:
         self.coupling_map = coupling_map
@@ -143,6 +150,8 @@ class GreedyInteractionLayoutPass(AnalysisPass):
     #: Weight contributed by each pair of a three-qubit gate: a Toffoli is 6
     #: CNOTs spread over 3 pairs, i.e. 2 per pair.
     TOFFOLI_PAIR_WEIGHT = 2
+
+    establishes = ("laid_out",)
 
     def __init__(
         self,

@@ -18,16 +18,17 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.circuit import Instruction
 from ..circuits.dag import DagCircuit, DagNode
 from ..circuits import library
-from ..exceptions import TranspilerError
 from .base import PropertySet, TransformationPass
 from .synthesis import matrix_is_identity, u3_from_matrix
 
 
 class DecomposeSwapsPass(TransformationPass):
     """Expand every explicit SWAP into its three-CNOT implementation (§2.2)."""
+
+    establishes = ("swaps_expanded",)
 
     def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         node = dag.head
@@ -49,6 +50,8 @@ class DecomposeSwapsPass(TransformationPass):
 
 class RemoveBarriersPass(TransformationPass):
     """Drop barrier markers (they carry no semantics for our simulators)."""
+
+    checks = ("gate_count_nonincreasing",)
 
     def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         node = dag.head
@@ -92,6 +95,8 @@ class CancelAdjacentInversesPass(TransformationPass):
     are found in the same sweep; ``max_iterations`` extra sweeps remain as a
     safety net and for convergence under the fixed-point combinator.
     """
+
+    checks = ("gate_count_nonincreasing",)
 
     def __init__(self, max_iterations: int = 10) -> None:
         self.max_iterations = max_iterations
@@ -139,6 +144,8 @@ class Consolidate1qRunsPass(TransformationPass):
     application bit-identical to the historical behaviour.
     """
 
+    checks = ("gate_count_nonincreasing",)
+
     def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         # Per-qubit pending run: the nodes collected so far and their product.
         pending: Dict[int, Tuple[List[DagNode], np.ndarray]] = {}
@@ -181,6 +188,8 @@ class Consolidate1qRunsPass(TransformationPass):
 
 class RemoveIdentitiesPass(TransformationPass):
     """Remove explicit identity gates and zero-angle rotations."""
+
+    checks = ("gate_count_nonincreasing",)
 
     def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         node = dag.head

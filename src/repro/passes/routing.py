@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from typing import List, Mapping, Optional, Tuple
 
-from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.circuit import Instruction
 from ..circuits.dag import DagCircuit
 from ..circuits import library
 from ..exceptions import HardwareError, RoutingError
@@ -52,6 +52,9 @@ class GreedySwapRouter(TransformationPass):
             exactly this behaviour.
         seed: RNG seed for the stochastic mode.
     """
+
+    establishes = ("routed",)
+    invalidates = ("scheduled", "swaps_expanded")
 
     def __init__(
         self,
@@ -190,6 +193,9 @@ class LegalizationRouter(GreedySwapRouter):
     non-coupled physical qubits gets the usual SWAP treatment.  For the real
     Trios flow this pass inserts zero SWAPs, which the tests assert.
     """
+
+    establishes = ("routed",)
+    invalidates = ("scheduled", "swaps_expanded")
 
     def run_dag(self, dag: DagCircuit, properties: PropertySet) -> DagCircuit:
         # The circuit is already expressed on physical wires; route with an

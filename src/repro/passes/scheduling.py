@@ -9,7 +9,7 @@ of the paper's success model (§2.6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..circuits.dag import DagCircuit
@@ -94,6 +94,8 @@ def asap_schedule(circuit, calibration: DeviceCalibration) -> Schedule:
 
 class ASAPSchedulePass(AnalysisPass):
     """Analysis pass that stores the schedule and its duration in the properties."""
+
+    establishes = ("scheduled",)
 
     def __init__(self, calibration: DeviceCalibration) -> None:
         self.calibration = calibration

@@ -18,9 +18,9 @@ otherwise.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.circuit import Instruction
 from ..circuits.dag import DagCircuit
 from ..circuits import library
 from ..exceptions import TranspilerError
@@ -150,6 +150,11 @@ class ToffoliDecomposePass(TransformationPass):
     Figures 6 and 7.
     """
 
+    # Hardware-ignorant by design: the emitted CNOTs may land on non-coupled
+    # pairs, so a previously routed circuit needs re-legalization afterwards.
+    establishes = ("decomposed",)
+    invalidates = ("routed", "routed_toffoli", "scheduled")
+
     def __init__(self, mode: str = "6cnot") -> None:
         if mode not in ("6cnot", "8cnot"):
             raise TranspilerError(f"unknown Toffoli decomposition mode {mode!r}")
@@ -180,6 +185,10 @@ class MappingAwareToffoliDecomposePass(TransformationPass):
     the qubit adjacent to both others becomes the middle of the 8-CNOT linear
     decomposition.
     """
+
+    requires = ("routed_toffoli",)
+    establishes = ("routed", "decomposed")
+    invalidates = ("routed_toffoli", "scheduled")
 
     def __init__(self, coupling_map: CouplingMap) -> None:
         self.coupling_map = coupling_map

@@ -22,19 +22,24 @@ decomposition pass.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from ..circuits.circuit import Instruction
 from ..circuits.dag import DagCircuit
 from ..exceptions import RoutingError
 from ..hardware.topology import CouplingMap
-from .base import PropertySet
 from .layout import Layout
 from .routing import GreedySwapRouter
 
 
 class TriosRouter(GreedySwapRouter):
     """Routing pass that handles one-, two- and three-qubit gates (§4)."""
+
+    # Unlike the plain router, the output may still carry 3q Toffoli-family
+    # gates — but every one sits on a connected trio (routed_toffoli), ready
+    # for the mapping-aware second decomposition.
+    establishes = ("routed_toffoli",)
+    invalidates = ("scheduled", "swaps_expanded")
 
     def __init__(
         self,

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import SimulationError

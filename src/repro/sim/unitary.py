@@ -8,13 +8,12 @@ routing introduces).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import SimulationError
-from .statevector import apply_matrix
 
 
 def circuit_unitary(circuit: QuantumCircuit, max_qubits: int = 12) -> np.ndarray:

@@ -20,6 +20,14 @@ from repro.hardware import (
 )
 from repro.sim.equivalence import assert_routed_equivalent
 
+# The whole suite runs with pass-contract validation at its strictest: every
+# PassManager built anywhere in the tests (directly or via transpile) checks
+# declared contracts, lints the IR structurally after every pass, and
+# re-verifies held invariants.  CI exports the same variable, so a pass that
+# corrupts the DAG or breaks a pipeline contract fails loudly at the
+# offending pass instead of via a downstream symptom.
+os.environ.setdefault("REPRO_VALIDATE", "full")
+
 # ----------------------------------------------------------------------
 # Hypothesis profiles
 # ----------------------------------------------------------------------

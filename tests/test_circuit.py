@@ -5,9 +5,7 @@ import math
 import pytest
 
 from repro.circuits import CircuitDag, QuantumCircuit, circuit_layers, from_qasm, to_qasm
-from repro.circuits.library import GATE_ARITY
 from repro.exceptions import CircuitError
-from repro.hardware import johannesburg_aug19_2020
 
 
 class TestCircuitConstruction:

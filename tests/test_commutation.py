@@ -309,6 +309,67 @@ class TestCommutativeCancellationPass:
         BrokenCancellation(verify=False).run(circuit, PropertySet())
 
 
+class TestDiagonalTwoQubitMerges:
+    """cp/rzz/crz pairs on the same qubits merge by angle addition."""
+
+    def run_pass(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        return CommutativeCancellationPass(verify=True).run(
+            circuit, PropertySet()
+        )
+
+    def test_cp_pair_merges_through_commuting_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.cp(0.3, 0, 1).rz(0.5, 0).z(1).cp(0.5, 0, 1)
+        out = self.run_pass(circuit)
+        assert out.count_ops()["cp"] == 1
+        (merged,) = [i for i in out.instructions if i.name == "cp"]
+        assert merged.gate.params[0] == pytest.approx(0.8)
+        assert circuits_equivalent(circuit, out)
+
+    def test_rzz_full_turn_is_dropped(self):
+        # rzz(2*pi) = -I: identity up to global phase, so the pair vanishes.
+        circuit = QuantumCircuit(2)
+        circuit.rzz(math.pi, 0, 1).rz(0.4, 0).rzz(math.pi, 0, 1)
+        out = self.run_pass(circuit)
+        assert "rzz" not in out.count_ops()
+        assert circuits_equivalent(circuit, out)
+
+    def test_crz_full_turn_is_kept(self):
+        # crz(2*pi) = diag(1, 1, -1, -1) is NOT the identity (the phase is
+        # conditional, not global) — the merged gate must survive.
+        circuit = QuantumCircuit(2)
+        circuit.crz(math.pi, 0, 1).crz(math.pi, 0, 1)
+        out = self.run_pass(circuit)
+        assert out.count_ops().get("crz", 0) == 1
+        assert out.instructions[0].gate.params[0] == pytest.approx(2 * math.pi)
+        assert circuits_equivalent(circuit, out)
+
+    def test_crz_is_direction_sensitive(self):
+        # crz(a, 0, 1) and crz(b, 1, 0) are different unitaries; the merge
+        # groups by the exact qubit tuple, so nothing happens here.
+        circuit = QuantumCircuit(2)
+        circuit.crz(0.3, 0, 1).crz(0.4, 1, 0)
+        out = self.run_pass(circuit)
+        assert out.count_ops()["crz"] == 2
+        assert circuits_equivalent(circuit, out)
+
+    def test_blocking_gate_prevents_the_merge(self):
+        circuit = QuantumCircuit(2)
+        circuit.cp(0.3, 0, 1).h(0).cp(0.5, 0, 1)
+        out = self.run_pass(circuit)
+        assert out.count_ops()["cp"] == 2
+        assert circuits_equivalent(circuit, out)
+
+    def test_three_way_merge_accumulates_all_angles(self):
+        circuit = QuantumCircuit(3)
+        circuit.cp(0.2, 0, 1).rz(1.0, 0).cp(0.3, 0, 1).z(1).cp(0.4, 0, 1)
+        out = self.run_pass(circuit)
+        assert out.count_ops()["cp"] == 1
+        (merged,) = [i for i in out.instructions if i.name == "cp"]
+        assert merged.gate.params[0] == pytest.approx(0.9)
+        assert circuits_equivalent(circuit, out)
+
+
 # ----------------------------------------------------------------------
 # Satellite: every optimisation pass (old and new) preserves equivalence on
 # random circuits, via the sim.equivalence helpers.

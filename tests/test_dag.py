@@ -1,6 +1,5 @@
 """Unit and property tests for the mutable DagCircuit IR."""
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings

@@ -32,7 +32,7 @@ from repro.experiments.toffoli import (
     compile_configuration,
     run_toffoli_experiment,
 )
-from repro.hardware import johannesburg, johannesburg_aug19_2020
+from repro.hardware import johannesburg
 from repro.sim import (
     BACKEND_NAMES,
     DensityMatrixSimulator,

@@ -7,7 +7,6 @@ assertion helpers the passes' debug mode and the benchmark harness rely on.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

@@ -1,20 +1,16 @@
 """Tests for unitary synthesis, basis decomposition and the Toffoli decompositions."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.circuits import Gate, Instruction, QuantumCircuit
+from repro.circuits import Gate, QuantumCircuit
 from repro.circuits.library import GATE_ARITY
 from repro.exceptions import TranspilerError
 from repro.hardware import CouplingMap, johannesburg
 from repro.passes import (
     DecomposeToBasisPass,
     MappingAwareToffoliDecomposePass,
-    PassManager,
     PropertySet,
     ToffoliDecomposePass,
     ccz_6cnot,
@@ -25,7 +21,7 @@ from repro.passes import (
     u3_from_matrix,
     zyz_angles,
 )
-from repro.sim import circuit_unitary, circuits_equivalent, equal_up_to_global_phase
+from repro.sim import circuits_equivalent, equal_up_to_global_phase
 
 
 def random_unitary_2x2(rng: np.random.Generator) -> np.ndarray:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.circuits import QuantumCircuit
 from repro.exceptions import LayoutError, RoutingError
-from repro.hardware import CouplingMap, johannesburg, line
+from repro.hardware import CouplingMap, line
 from repro.passes import (
     ASAPSchedulePass,
     CancelAdjacentInversesPass,

@@ -12,9 +12,7 @@ Invariants checked on randomly generated circuits and placements:
 
 from __future__ import annotations
 
-import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
