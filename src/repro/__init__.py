@@ -11,8 +11,12 @@ The package implements, from scratch, the full toolchain the paper needs:
   three-qubit routing, mapping-aware Toffoli decomposition, optimisation and
   scheduling (:mod:`repro.passes`),
 * the two end-to-end pipelines compared in the paper (:mod:`repro.compiler`),
-* every benchmark circuit of Table 1 (:mod:`repro.bench_circuits`), and
-* harnesses that regenerate each figure and table (:mod:`repro.experiments`).
+* every benchmark circuit of Table 1 (:mod:`repro.bench_circuits`),
+* harnesses that regenerate each figure and table (:mod:`repro.experiments`),
+  and
+* the fault-tolerant execution runtime behind every parallel fan-out —
+  per-cell timeouts, seeded-backoff retries, crash recovery and a
+  deterministic fault-injection harness (:mod:`repro.runtime`).
 
 Quickstart::
 

@@ -34,7 +34,7 @@ from ..exceptions import TranspilerError
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.target import Target
 from ..hardware.topology import CouplingMap
-from ..parallel import run_experiment_cells
+from ..runtime import CellRunner, FailurePolicy, resolve_jobs
 from ..passes.base import BasePass, FixedPoint, PassManager, PropertySet, Stage
 from ..passes.commutation import CommutativeCancellationPass
 from ..passes.decompose import DecomposeToBasisPass
@@ -389,9 +389,12 @@ def transpile(
         seed_trials: Number of layout/routing seeds the level-3 search
             tries (default :data:`DEFAULT_SEED_TRIALS`); only meaningful —
             and only accepted — at ``optimization_level=3``.
-        jobs: Worker processes for the level-3 seed search (the PR-2
-            ``--jobs`` pool); results are identical to ``jobs=1``.  Only
-            accepted at ``optimization_level=3``.
+        jobs: Worker processes for the level-3 seed search, run on the
+            fault-tolerant runtime (:mod:`repro.runtime`): faulted candidate
+            seeds are dropped and the base seed always survives, so the
+            search cannot fail because of a flaky worker.  ``0`` means all
+            CPUs; results are identical to ``jobs=1``.  Only accepted at
+            ``optimization_level=3``.
 
     Returns:
         A :class:`CompilationResult` carrying the compiled circuit, the
@@ -540,15 +543,50 @@ def _run_seed_search(
     probability wins (ties: fewer CNOTs, then lower depth, then earlier
     seed).  This keeps the search's output monotonically no worse than level
     2 on the paper's metrics while still exploiting routing-seed luck.
+
+    The search runs on the fault-tolerant runtime: a candidate seed whose
+    worker crashes, hangs or keeps raising is *dropped* (recorded in the
+    telemetry, never raised), and the base seed's candidate is recompiled
+    serially in the driver process if its worker was lost — so a level-3
+    compile can never fail because of a flaky worker, and its result is
+    always at least the base seed's.
     """
+    jobs = resolve_jobs(jobs)
     trials = seed_trials if seed_trials is not None else DEFAULT_SEED_TRIALS
     seeds = _candidate_seeds(ctx.seed, trials)
     payloads = [(ctx, method, circuit, candidate_seed) for candidate_seed in seeds]
-    candidates = run_experiment_cells(payloads, _seed_candidate, jobs)
+    runner = CellRunner(
+        jobs=jobs,
+        policy=FailurePolicy(retries=1, on_error="skip"),
+        label="level-3 seed search",
+    )
+    records = runner.run(payloads, _seed_candidate)
+    candidates: List[Optional[tuple]] = [
+        record.value if record.ok else None for record in records
+    ]
+    if candidates[0] is None:
+        # The base seed must always survive: recompile it in-process (where
+        # an injected or real worker death cannot reach) and let a genuine
+        # compilation error propagate as itself.
+        candidates[0] = _seed_candidate(payloads[0])
+    failed_seeds = [
+        {
+            "seed": seeds[record.index],
+            "status": record.status,
+            "attempts": record.attempts,
+            "error": str(record.error) if record.error else "",
+            "recovered_serially": record.index == 0,
+        }
+        for record in records
+        if not record.ok
+    ]
     base_cnots, base_depth = candidates[0][2], candidates[0][3]
     best_index = 0
     best_key = None
-    for index, (_, _, cnots, depth, success) in enumerate(candidates):
+    for index, candidate in enumerate(candidates):
+        if candidate is None:
+            continue  # the candidate's worker was lost; seed dropped
+        _, _, cnots, depth, success = candidate
         if cnots > base_cnots or depth > base_depth:
             continue  # inadmissible: would regress a level-2 metric
         key = (-success, cnots, depth, index)
@@ -561,15 +599,17 @@ def _run_seed_search(
         "chosen_seed": seeds[best_index],
         "chosen_index": best_index,
         "jobs": jobs,
+        "failed_seeds": failed_seeds,
         "candidates": [
             {
                 "seed": seeds[index],
-                "cnots": cnots,
-                "depth": depth,
-                "estimated_success": success,
-                "admissible": cnots <= base_cnots and depth <= base_depth,
+                "cnots": candidate[2],
+                "depth": candidate[3],
+                "estimated_success": candidate[4],
+                "admissible": candidate[2] <= base_cnots and candidate[3] <= base_depth,
             }
-            for index, (_, _, cnots, depth, success) in enumerate(candidates)
+            for index, candidate in enumerate(candidates)
+            if candidate is not None
         ],
     }
     return compiled, properties

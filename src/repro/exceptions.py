@@ -74,3 +74,23 @@ class ScheduleError(TranspilerError):
 
 class BenchmarkError(ReproError):
     """Raised when a benchmark circuit generator receives invalid parameters."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the fault-tolerant execution runtime (:mod:`repro.runtime`).
+
+    Covers infrastructure failures the runtime cannot (or was told not to)
+    absorb: a permanently failed cell under ``on_error="fail"``, a tripped
+    max-failure circuit breaker, or invalid runner configuration.  Per-cell
+    faults that the runtime *does* absorb are reported as structured
+    :class:`repro.runtime.CellResult` records instead of being raised.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Raised by an injected ``"raise"`` fault from :mod:`repro.runtime.faults`.
+
+    Only the deterministic fault-injection harness raises this; seeing it
+    outside a fault-injection test or benchmark means a ``REPRO_FAULTS`` plan
+    was left active in the environment.
+    """

@@ -33,7 +33,14 @@ from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, near_term_calibration
 from ..hardware.library import PAPER_TOPOLOGIES
 from ..hardware.topology import CouplingMap
-from ..parallel import run_experiment_cells
+from ..runtime import (
+    CellFailure,
+    CellRunner,
+    FailurePolicy,
+    FaultPlan,
+    failure_records,
+    resolve_jobs,
+)
 from ..sim import (
     EXACT_PROBABILITY_BACKENDS,
     StatevectorSimulator,
@@ -79,6 +86,11 @@ class BenchmarkExperimentResult:
 
     calibration_name: str
     comparisons: Dict[str, Dict[str, BenchmarkComparison]] = field(default_factory=dict)
+    #: Cells the fault-tolerant runtime could not complete (worker crashed,
+    #: timed out, or kept raising): explicit skip records, so a partial sweep
+    #: reports what is missing instead of crashing.  The geomean aggregates
+    #: below simply cover the surviving rows.
+    failures: List[CellFailure] = field(default_factory=list)
 
     def topologies(self) -> List[str]:
         return list(self.comparisons)
@@ -332,8 +344,12 @@ def run_benchmark_experiment(
     shots: int = 2048,
     jobs: int = 1,
     exact: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    on_error: str = "skip",
+    faults: Optional[FaultPlan] = None,
 ) -> BenchmarkExperimentResult:
-    """Run the full Figures 9-11 sweep.
+    """Run the full Figures 9-11 sweep on the fault-tolerant runtime.
 
     Args:
         topologies: Mapping from label to topology builder; defaults to the
@@ -345,11 +361,24 @@ def run_benchmark_experiment(
             :class:`~repro.sim.SimulationBackend` name to sample shot counts.
         shots: Shots per circuit when a sampling backend is selected.
         jobs: Worker processes for the (topology, benchmark) cells; ``1``
-            (the default) runs serially.  Results are identical either way
-            (the exact backend's channels and simulator pickle cleanly).
+            (the default) runs serially, ``0`` uses all CPUs.  Results are
+            identical either way (the exact backend's channels and simulator
+            pickle cleanly), and a cell that succeeds after retries is
+            byte-identical to its fault-free serial run (each cell derives
+            randomness from the seed carried in its own payload).
         exact: Record the backend's analytic success probabilities instead
             of sampled frequencies (zero shot variance); requires a
             probability-capable backend such as ``"density"``.
+        timeout: Per-cell wall-clock seconds (pool mode) before a hung cell's
+            worker is killed and the cell retried; ``None`` disables.
+        retries: Extra attempts per faulted cell (crash, timeout, exception).
+        on_error: What a permanently failed cell does — ``"fail"`` aborts the
+            sweep (the pre-runtime behaviour), ``"skip"`` (default) records
+            it under :attr:`BenchmarkExperimentResult.failures`, ``"serial"``
+            additionally degrades to in-process execution when the pool keeps
+            breaking.
+        faults: Deterministic fault-injection plan (tests/benchmarks); by
+            default the ``REPRO_FAULTS`` environment variable is honoured.
     """
     topologies = topologies or PAPER_TOPOLOGIES
     calibration = calibration or near_term_calibration()
@@ -380,9 +409,19 @@ def run_benchmark_experiment(
                 (label, coupling_map, benchmark, circuits[benchmark],
                  calibration, seed, backend, shots, expected, exact)
             )
-    for label, benchmark, comparison in run_experiment_cells(
-        payloads, _benchmark_cell, jobs
-    ):
+    runner = CellRunner(
+        jobs=resolve_jobs(jobs),
+        policy=FailurePolicy(timeout=timeout, retries=retries, on_error=on_error),
+        faults=faults if faults is not None else "env",
+        label="benchmark sweep",
+    )
+    records = runner.run(payloads, _benchmark_cell)
+    labels = [f"{label}|{benchmark}" for (label, _, benchmark, *_rest) in payloads]
+    result.failures = failure_records(records, labels)
+    for record in records:
+        if not record.ok:
+            continue
+        label, benchmark, comparison = record.value
         if comparison is not None:
             result.comparisons[label][benchmark] = comparison
     return result

@@ -34,6 +34,7 @@ from .report import (
     format_benchmark_normalized,
     format_benchmark_reduction,
     format_benchmark_success,
+    format_failure_summary,
     format_pass_profile,
     format_sensitivity,
     format_table1,
@@ -58,6 +59,31 @@ def _resolve_exact_backend(backend: str, exact: bool) -> str:
     print(f"note: --exact needs analytic probabilities; using the 'density' "
           f"backend instead of {backend!r}\n")
     return "density"
+
+
+def _add_fault_tolerance_flags(parser: argparse.ArgumentParser,
+                               cells: str) -> None:
+    """The fault-tolerant runtime's knobs, shared by every sweep subcommand."""
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help=f"wall-clock timeout per {cells} (pool mode); a "
+                             "hung worker is killed and the cell retried")
+    parser.add_argument("--retries", type=int, default=2,
+                        help=f"extra attempts per faulted {cells} "
+                             "(crash/timeout/exception; default 2)")
+    parser.add_argument("--on-error", default="skip",
+                        choices=["fail", "skip", "serial"], dest="on_error",
+                        help="permanent-failure policy: fail = abort the "
+                             "sweep, skip = record the cell in the failure "
+                             "table and continue (default), serial = skip "
+                             "plus in-process fallback when the pool keeps "
+                             "breaking")
+
+
+def _print_failures(failures) -> None:
+    if failures:
+        print(f"\n[failures] {len(failures)} cell(s) did not complete "
+              f"(aggregates cover the surviving cells)\n")
+        print(format_failure_summary(failures))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -87,8 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=list(BACKEND_NAMES),
                          help="simulation backend (default: failure)")
     toffoli.add_argument("--exact", action="store_true", help=exact_help)
+    toffoli.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the per-triplet cells "
+                              "(default 1 = serial, 0 = all CPUs; results "
+                              "are identical)")
     toffoli.add_argument("--profile-passes", action="store_true",
                          help="print the per-pass time / gate-delta table")
+    _add_fault_tolerance_flags(toffoli, "triplet")
 
     benchmarks = subparsers.add_parser(
         "benchmarks", help="Figures 9-11: benchmark suite on the four topologies"
@@ -102,13 +133,15 @@ def _build_parser() -> argparse.ArgumentParser:
     benchmarks.add_argument("--exact", action="store_true", help=exact_help)
     benchmarks.add_argument("--jobs", type=int, default=1,
                             help="worker processes for the sweep cells "
-                                 "(default 1 = serial; results are identical)")
+                                 "(default 1 = serial, 0 = all CPUs; "
+                                 "results are identical)")
     benchmarks.add_argument("--benchmarks", nargs="+", metavar="NAME",
                             default=None,
                             help="restrict the sweep to these Table 1 "
                                  "benchmarks (default: all)")
     benchmarks.add_argument("--profile-passes", action="store_true",
                             help="print the per-pass time / gate-delta table")
+    _add_fault_tolerance_flags(benchmarks, "sweep cell")
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="Figure 12: sensitivity to device error rates"
@@ -126,9 +159,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--exact", action="store_true", help=exact_help)
     sensitivity.add_argument("--jobs", type=int, default=1,
                              help="worker processes for the per-benchmark "
-                                  "curves (default 1 = serial)")
+                                  "curves (default 1 = serial, 0 = all CPUs)")
     sensitivity.add_argument("--profile-passes", action="store_true",
                              help="print the per-pass time / gate-delta table")
+    _add_fault_tolerance_flags(sensitivity, "benchmark curve")
 
     compile_cmd = subparsers.add_parser(
         "compile",
@@ -156,7 +190,8 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "tries (only with --opt-level 3; default 4)")
     compile_cmd.add_argument("--jobs", type=int, default=1,
                              help="worker processes for the level-3 seed "
-                                  "search (only with --opt-level 3)")
+                                  "search (only with --opt-level 3; "
+                                  "0 = all CPUs)")
 
     lint = subparsers.add_parser(
         "lint",
@@ -211,10 +246,14 @@ def _list_backends() -> None:
 
 
 def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure",
-                 exact: bool = False, profile_passes: bool = False) -> None:
+                 exact: bool = False, profile_passes: bool = False,
+                 jobs: int = 1, timeout: Optional[float] = None,
+                 retries: int = 2, on_error: str = "skip") -> None:
     sampler = _resolve_exact_backend(sampler, exact)
     result = run_toffoli_experiment(num_triplets=triplets, shots=shots, seed=seed,
-                                    sampler=sampler, exact=exact)
+                                    sampler=sampler, exact=exact, jobs=jobs,
+                                    timeout=timeout, retries=retries,
+                                    on_error=on_error)
     note = " (exact probabilities, zero shot variance)" if exact else ""
     print("[Figure 7] CNOT gate counts\n")
     print(format_toffoli_gate_counts(result))
@@ -225,17 +264,21 @@ def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure",
     print(f"\nGeomean gate reduction: {result.gate_reduction() * 100:.1f}% (paper: 35%)")
     print(f"Geomean success increase: {(result.geomean_improvement() - 1) * 100:.1f}% "
           f"(paper: 23%)")
+    _print_failures(result.failures)
     if profile_passes:
         _print_pass_profile(result)
 
 
 def _run_benchmarks(seed: int, backend: str = "analytic", shots: int = 2048,
                     jobs: int = 1, benchmarks: Optional[Sequence[str]] = None,
-                    exact: bool = False, profile_passes: bool = False) -> None:
+                    exact: bool = False, profile_passes: bool = False,
+                    timeout: Optional[float] = None, retries: int = 2,
+                    on_error: str = "skip") -> None:
     backend = _resolve_exact_backend(backend, exact)
     result = run_benchmark_experiment(seed=seed, backend=backend, shots=shots,
                                       jobs=jobs, benchmarks=benchmarks,
-                                      exact=exact)
+                                      exact=exact, timeout=timeout,
+                                      retries=retries, on_error=on_error)
     note = " (exact probabilities, zero shot variance)" if exact else ""
     print(f"[Figure 9] Simulated success probabilities{note}\n")
     print(format_benchmark_success(result))
@@ -243,19 +286,25 @@ def _run_benchmarks(seed: int, backend: str = "analytic", shots: int = 2048,
     print(format_benchmark_reduction(result))
     print(f"\n[Figure 11] Success normalised to the baseline{note}\n")
     print(format_benchmark_normalized(result))
+    _print_failures(result.failures)
     if profile_passes:
         _print_pass_profile(result)
 
 
 def _run_sensitivity(factors: Sequence[float], backend: str = "analytic",
                      shots: int = 2048, jobs: int = 1, exact: bool = False,
-                     profile_passes: bool = False) -> None:
+                     profile_passes: bool = False,
+                     timeout: Optional[float] = None, retries: int = 2,
+                     on_error: str = "skip") -> None:
     backend = _resolve_exact_backend(backend, exact)
     result = run_sensitivity_experiment(factors=list(factors), backend=backend,
-                                        shots=shots, jobs=jobs, exact=exact)
+                                        shots=shots, jobs=jobs, exact=exact,
+                                        timeout=timeout, retries=retries,
+                                        on_error=on_error)
     note = " (exact probabilities)" if exact else ""
     print(f"[Figure 12] p_trios / p_baseline vs error-rate improvement{note}\n")
     print(format_sensitivity(result))
+    _print_failures(result.failures)
     if profile_passes:
         _print_pass_profile(result)
 
@@ -395,14 +444,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_table1()
     elif args.command == "toffoli":
         _run_toffoli(args.triplets, args.shots, args.seed, args.sampler,
-                     exact=args.exact, profile_passes=args.profile_passes)
+                     exact=args.exact, profile_passes=args.profile_passes,
+                     jobs=args.jobs, timeout=args.timeout,
+                     retries=args.retries, on_error=args.on_error)
     elif args.command == "benchmarks":
         _run_benchmarks(args.seed, args.backend, args.shots, args.jobs,
                         benchmarks=args.benchmarks, exact=args.exact,
-                        profile_passes=args.profile_passes)
+                        profile_passes=args.profile_passes,
+                        timeout=args.timeout, retries=args.retries,
+                        on_error=args.on_error)
     elif args.command == "sensitivity":
         _run_sensitivity(args.factors, args.backend, args.shots, args.jobs,
-                         exact=args.exact, profile_passes=args.profile_passes)
+                         exact=args.exact, profile_passes=args.profile_passes,
+                         timeout=args.timeout, retries=args.retries,
+                         on_error=args.on_error)
     elif args.command == "compile":
         _run_compile(args.benchmark, args.pipeline, args.topology, args.seed,
                      args.optimization_level, seed_trials=args.seed_trials,

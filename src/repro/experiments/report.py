@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 from ..bench_circuits.suite import PAPER_TABLE1, BenchmarkStats
+from ..runtime import CellFailure
 from .benchmarks import BenchmarkExperimentResult
 from .sensitivity import SensitivityResult
 from .toffoli import CONFIGURATIONS, ToffoliExperimentResult
@@ -151,6 +152,24 @@ def format_sensitivity(result: SensitivityResult) -> str:
     rows = []
     for name, curve in result.curves.items():
         rows.append((name,) + tuple(f"{r:.2f}" for r in curve.ratios))
+    return _format_table(headers, rows)
+
+
+def format_failure_summary(failures: Sequence[CellFailure]) -> str:
+    """The fault-tolerant runtime's failure table for a partial sweep.
+
+    One row per cell the runtime could not complete (worker crashed, timed
+    out, or kept raising after retries); the surrounding report's aggregates
+    cover only the surviving cells, so this table is what makes a partial
+    sweep honest.
+    """
+    if not failures:
+        return "(no failed cells)"
+    headers = ("cell", "status", "attempts", "error")
+    rows = [
+        (failure.label, failure.status, failure.attempts, failure.error or "-")
+        for failure in failures
+    ]
     return _format_table(headers, rows)
 
 

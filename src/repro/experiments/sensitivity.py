@@ -21,11 +21,18 @@ from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
 from ..hardware.library import johannesburg
 from ..hardware.topology import CouplingMap
+from ..runtime import (
+    CellFailure,
+    CellRunner,
+    FailurePolicy,
+    FaultPlan,
+    failure_records,
+    resolve_jobs,
+)
 from .benchmarks import (
     compile_benchmark_cached,
     ideal_expected_outcome,
     require_exact_capable_backend,
-    run_experiment_cells,
     sampled_success,
 )
 
@@ -52,6 +59,9 @@ class SensitivityResult:
     device: str
     factors: List[float]
     curves: Dict[str, SensitivityCurve] = field(default_factory=dict)
+    #: Curves the fault-tolerant runtime could not complete (worker crashed,
+    #: timed out, or kept raising) — explicit skip records for the report.
+    failures: List[CellFailure] = field(default_factory=list)
 
     def benchmarks(self) -> List[str]:
         return list(self.curves)
@@ -138,6 +148,10 @@ def run_sensitivity_experiment(
     shots: int = 2048,
     jobs: int = 1,
     exact: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    on_error: str = "skip",
+    faults: Optional[FaultPlan] = None,
 ) -> SensitivityResult:
     """Reproduce Figure 12 on the Johannesburg topology.
 
@@ -153,10 +167,20 @@ def run_sensitivity_experiment(
             compiled circuits under each scaled calibration.
         shots: Shots per circuit when a sampling backend is selected.
         jobs: Worker processes for the per-benchmark curves; ``1`` (the
-            default) runs serially.  Results are identical either way.
+            default) runs serially, ``0`` uses all CPUs.  Results are
+            identical either way.
         exact: Evaluate analytic success probabilities via the backend's
             ``run_probabilities`` (zero shot variance, no shot-noise floor);
             requires a probability-capable backend such as ``"density"``.
+        timeout: Per-curve wall-clock seconds (pool mode) before a hung
+            cell's worker is killed and the cell retried; ``None`` disables.
+        retries: Extra attempts per faulted curve.
+        on_error: ``"fail"`` aborts the study on a permanent failure,
+            ``"skip"`` (default) records it under
+            :attr:`SensitivityResult.failures`, ``"serial"`` additionally
+            degrades to in-process execution when the pool keeps breaking.
+        faults: Deterministic fault-injection plan; defaults to the
+            ``REPRO_FAULTS`` environment variable.
     """
     coupling_map = coupling_map or johannesburg()
     base_calibration = base_calibration or johannesburg_aug19_2020()
@@ -174,9 +198,15 @@ def run_sensitivity_experiment(
          shots, exact)
         for name in fitting
     ]
-    for name, curve in zip(
-        fitting, run_experiment_cells(payloads, _sensitivity_cell, jobs)
-    ):
-        if curve is not None:
-            result.curves[name] = curve
+    runner = CellRunner(
+        jobs=resolve_jobs(jobs),
+        policy=FailurePolicy(timeout=timeout, retries=retries, on_error=on_error),
+        faults=faults if faults is not None else "env",
+        label="sensitivity study",
+    )
+    records = runner.run(payloads, _sensitivity_cell)
+    result.failures = failure_records(records, fitting)
+    for name, record in zip(fitting, records):
+        if record.ok and record.value is not None:
+            result.curves[name] = record.value
     return result

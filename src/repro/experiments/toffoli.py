@@ -29,6 +29,14 @@ from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
 from ..hardware.topology import CouplingMap
 from ..hardware.library import johannesburg
+from ..runtime import (
+    CellFailure,
+    CellRunner,
+    FailurePolicy,
+    FaultPlan,
+    failure_records,
+    resolve_jobs,
+)
 from ..sim import get_backend
 from .benchmarks import require_exact_capable_backend
 from .stats import geometric_mean
@@ -111,6 +119,9 @@ class ToffoliExperimentResult:
     #: backend (zero shot variance) rather than sampled frequencies.
     exact: bool = False
     rows: List[TripletResult] = field(default_factory=list)
+    #: Triplets the fault-tolerant runtime could not complete (worker crashed,
+    #: timed out, or kept raising) — explicit skip records for the report.
+    failures: List[CellFailure] = field(default_factory=list)
 
     def geomean_cnots(self, configuration: str) -> float:
         return geometric_mean(row.cnot_counts[configuration] for row in self.rows)
@@ -150,6 +161,46 @@ def random_triplets(
     return triplets
 
 
+def _toffoli_cell(payload) -> Optional[TripletResult]:
+    """Evaluate one triplet across the four configurations; pool entry point."""
+    index, triplet, coupling_map, calibration, shots, seed, sampler, exact = payload
+    placement = {0: triplet[0], 1: triplet[1], 2: triplet[2]}
+    row = TripletResult(
+        triplet=tuple(triplet),
+        total_distance=coupling_map.total_distance(triplet),
+    )
+    try:
+        for configuration in CONFIGURATIONS:
+            compiled = compile_configuration(
+                configuration, coupling_map, placement, seed=seed + index
+            )
+            row.cnot_counts[configuration] = compiled.two_qubit_gate_count
+            row.pass_timings[configuration] = compiled.pass_timings
+            measured = compiled.physical_qubits_of([0, 1, 2])
+            engine = get_backend(sampler, calibration, seed=seed + index)
+            circuit = compiled.circuit.without(["measure"])
+            if exact:
+                row.success_rates[configuration] = engine.run_probabilities(
+                    circuit, measured_qubits=measured
+                ).get("111", 0.0)
+            else:
+                counts = engine.run_counts(
+                    circuit, shots=shots, measured_qubits=measured
+                )
+                row.success_rates[configuration] = counts.success_rate("111")
+    except SimulationError as exc:
+        # The backend cannot simulate this triplet's compiled circuits
+        # (e.g. the routing activated more qubits than a dense density
+        # matrix can hold); drop the whole row so the per-row
+        # configuration comparison stays balanced.
+        warnings.warn(
+            f"skipping triplet {row.triplet}: {exc}", RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return row
+
+
 def run_toffoli_experiment(
     coupling_map: Optional[CouplingMap] = None,
     calibration: Optional[DeviceCalibration] = None,
@@ -159,6 +210,11 @@ def run_toffoli_experiment(
     seed: int = 0,
     sampler: str = "failure",
     exact: bool = False,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    on_error: str = "skip",
+    faults: Optional[FaultPlan] = None,
 ) -> ToffoliExperimentResult:
     """Run the §5.1 experiment on the noisy-hardware substitute.
 
@@ -180,6 +236,20 @@ def run_toffoli_experiment(
             (``run_probabilities``) instead of a sampled frequency — zero
             shot variance.  Requires a probability-capable backend
             (``"density"`` or ``"ideal"``).
+        jobs: Worker processes for the per-triplet cells; ``1`` (the default)
+            runs serially, ``0`` uses all CPUs.  Every cell derives its
+            randomness from ``seed + index``, so parallel runs are
+            bit-identical to serial ones.
+        timeout: Per-triplet wall-clock seconds (pool mode) before a hung
+            cell's worker is killed and the cell retried; ``None`` disables.
+        retries: Extra attempts per faulted triplet.
+        on_error: ``"fail"`` aborts the experiment on a permanent failure,
+            ``"skip"`` (default) records it under
+            :attr:`ToffoliExperimentResult.failures`, ``"serial"``
+            additionally degrades to in-process execution when the pool
+            keeps breaking.
+        faults: Deterministic fault-injection plan; defaults to the
+            ``REPRO_FAULTS`` environment variable.
 
     Triplets whose compiled circuits the selected backend cannot simulate
     (e.g. too many active qubits for the dense density matrix) are skipped
@@ -200,42 +270,23 @@ def run_toffoli_experiment(
     result = ToffoliExperimentResult(
         device=coupling_map.name, shots=shots, exact=exact
     )
-    for index, triplet in enumerate(triplets):
-        placement = {0: triplet[0], 1: triplet[1], 2: triplet[2]}
-        row = TripletResult(
-            triplet=tuple(triplet),
-            total_distance=coupling_map.total_distance(triplet),
-        )
-        try:
-            for configuration in CONFIGURATIONS:
-                compiled = compile_configuration(
-                    configuration, coupling_map, placement, seed=seed + index
-                )
-                row.cnot_counts[configuration] = compiled.two_qubit_gate_count
-                row.pass_timings[configuration] = compiled.pass_timings
-                measured = compiled.physical_qubits_of([0, 1, 2])
-                engine = get_backend(sampler, calibration, seed=seed + index)
-                circuit = compiled.circuit.without(["measure"])
-                if exact:
-                    row.success_rates[configuration] = engine.run_probabilities(
-                        circuit, measured_qubits=measured
-                    ).get("111", 0.0)
-                else:
-                    counts = engine.run_counts(
-                        circuit, shots=shots, measured_qubits=measured
-                    )
-                    row.success_rates[configuration] = counts.success_rate("111")
-        except SimulationError as exc:
-            # The backend cannot simulate this triplet's compiled circuits
-            # (e.g. the routing activated more qubits than a dense density
-            # matrix can hold); drop the whole row so the per-row
-            # configuration comparison stays balanced.
-            warnings.warn(
-                f"skipping triplet {row.triplet}: {exc}", RuntimeWarning,
-                stacklevel=2,
-            )
-            continue
-        result.rows.append(row)
+    payloads = [
+        (index, tuple(triplet), coupling_map, calibration, shots, seed,
+         sampler, exact)
+        for index, triplet in enumerate(triplets)
+    ]
+    runner = CellRunner(
+        jobs=resolve_jobs(jobs),
+        policy=FailurePolicy(timeout=timeout, retries=retries, on_error=on_error),
+        faults=faults if faults is not None else "env",
+        label="toffoli experiment",
+    )
+    records = runner.run(payloads, _toffoli_cell)
+    labels = [f"triplet {payload[1]}" for payload in payloads]
+    result.failures = failure_records(records, labels)
+    for record in records:
+        if record.ok and record.value is not None:
+            result.rows.append(record.value)
     if not result.rows:
         raise ReproError(
             f"backend {sampler!r} could not simulate any of the "

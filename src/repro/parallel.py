@@ -1,31 +1,15 @@
-"""The shared process-pool fan-out used by sweeps and the level-3 seed search.
+"""Deprecated shim — the process-pool fan-out moved to :mod:`repro.runtime`.
 
-One deliberately small helper: map a worker over payload tuples, either
-serially or across a ``ProcessPoolExecutor``, with results returned in payload
-order.  Every payload carries its own seed, so a parallel run is bit-identical
-to the serial one — the invariant the experiment sweeps (PR 2's ``--jobs``)
-established and that ``transpile(..., optimization_level=3, jobs=N)`` now
-reuses for its multi-seed layout/routing search.
-
-Lives outside both :mod:`repro.experiments` and :mod:`repro.compiler` so the
-compiler can fan out without importing the experiment layer.
+The bare :func:`run_experiment_cells` helper grew into the fault-tolerant
+execution runtime (:class:`repro.runtime.CellRunner`): per-cell timeouts,
+bounded deterministic retries, worker-crash survival with pool respawn,
+serial-fallback degradation and structured :class:`repro.runtime.CellResult`
+records.  This module re-exports the legacy entry point so historical imports
+keep working; new code should import from :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Sequence
+from .runtime import run_experiment_cells
 
-
-def run_experiment_cells(payloads: Sequence[tuple], worker: Callable, jobs: int) -> List:
-    """Run experiment cells serially or over a process pool, preserving order.
-
-    Results come back in payload order regardless of completion order, and
-    every cell derives its randomness from the seed carried in its own
-    payload, so the parallel sweep is deterministic and identical to the
-    serial one.
-    """
-    if jobs <= 1 or len(payloads) <= 1:
-        return [worker(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        return list(pool.map(worker, payloads))
+__all__ = ["run_experiment_cells"]

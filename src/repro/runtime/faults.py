@@ -1,0 +1,205 @@
+"""Deterministic fault injection for the execution runtime.
+
+A :class:`FaultPlan` designates payload cells (by their position in the
+submitted payload sequence) that misbehave on chosen attempts: crash the
+worker process, hang past the runner's timeout, raise a transient exception,
+or return a corrupted payload.  Plans are plain data — seeded, picklable and
+reproducible — so the same plan injected twice produces the same sequence of
+faults, which is what lets ``tests/test_runtime.py`` assert exact recovery
+behaviour and ``benchmarks/bench_runtime.py`` demo a crashing sweep.
+
+Activation is explicit (pass a plan to :class:`repro.runtime.CellRunner` or a
+driver's ``faults=`` argument) or environmental: the ``REPRO_FAULTS`` variable
+holds the JSON form of a plan (:meth:`FaultPlan.to_json`) and is picked up by
+every runner whose caller did not pass one, so a whole CLI sweep can be run
+under injected faults without touching its code.
+
+Process-killing faults (``"crash"``) and hangs only fire inside pool *worker*
+processes, never in the parent — so the runtime's serial fallback and the
+level-3 base-seed re-run are immune to them by construction, exactly like a
+real segfaulting worker cannot take down the driver process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ExecutionError, FaultInjectionError
+
+#: Environment variable holding a JSON-encoded fault plan.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("crash", "hang", "raise", "corrupt")
+
+
+class Corrupted:
+    """Sentinel returned in place of a real result by a ``"corrupt"`` fault.
+
+    The runner recognises instances structurally (class name + marker
+    attribute) rather than by identity, so the sentinel survives the pickle
+    round-trip across the pool boundary.
+    """
+
+    is_corrupted_payload = True
+
+    def __init__(self, index: int, attempt: int):
+        self.index = index
+        self.attempt = attempt
+
+    def __repr__(self) -> str:
+        return f"Corrupted(index={self.index}, attempt={self.attempt})"
+
+
+def is_corrupted(value: Any) -> bool:
+    """True when ``value`` is a corruption sentinel from an injected fault."""
+    return getattr(value, "is_corrupted_payload", False) is True
+
+
+def _in_worker_process() -> bool:
+    """True inside a spawned/forked pool worker, False in the driver process."""
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected misbehaviour for one cell.
+
+    Args:
+        kind: ``"crash"`` kills the worker process (``os._exit``), ``"hang"``
+            sleeps for ``duration`` seconds (to trip the runner's per-cell
+            timeout), ``"raise"`` raises :class:`FaultInjectionError`, and
+            ``"corrupt"`` replaces the worker's return value with a
+            :class:`Corrupted` sentinel.
+        attempts: Attempt numbers (1-based) the fault fires on; empty means
+            every attempt.  ``attempts=(1,)`` models a transient fault healed
+            by one retry.
+        duration: Sleep length for ``"hang"`` faults.
+        message: Carried into the raised/recorded error text.
+    """
+
+    kind: str
+    attempts: Tuple[int, ...] = ()
+    duration: float = 3600.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ExecutionError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+
+    def fires_on(self, attempt: int) -> bool:
+        return not self.attempts or attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic mapping from cell index to its injected faults.
+
+    The plan is consulted by the runner's worker-side wrapper on every
+    attempt; it is pure data, so it travels through the process pool with the
+    payload and behaves identically in every worker.
+    """
+
+    faults: Mapping[int, Tuple[Fault, ...]] = field(default_factory=dict)
+
+    @staticmethod
+    def single(index: int, fault: Fault) -> "FaultPlan":
+        """A plan with one faulty cell."""
+        return FaultPlan({index: (fault,)})
+
+    @staticmethod
+    def of(faults: Mapping[int, Sequence[Fault]]) -> "FaultPlan":
+        """A plan from any index → fault-sequence mapping."""
+        return FaultPlan({int(i): tuple(fs) for i, fs in faults.items()})
+
+    def fault_for(self, index: int, attempt: int) -> Optional[Fault]:
+        """The first fault scheduled for this (cell, attempt), if any."""
+        for fault in self.faults.get(index, ()):
+            if fault.fires_on(attempt):
+                return fault
+        return None
+
+    def apply(self, index: int, attempt: int) -> None:
+        """Fire any pre-execution fault for this (cell, attempt).
+
+        Called by the runner's wrapper before the real worker runs.  Crash
+        and hang faults are inert outside pool workers (see module docstring).
+        """
+        fault = self.fault_for(index, attempt)
+        if fault is None:
+            return
+        if fault.kind == "crash":
+            if _in_worker_process():
+                os._exit(13)
+            return
+        if fault.kind == "hang":
+            if _in_worker_process():
+                time.sleep(fault.duration)
+            return
+        if fault.kind == "raise":
+            raise FaultInjectionError(
+                f"{fault.message} (cell {index}, attempt {attempt})"
+            )
+        # "corrupt" fires post-execution, in corrupt().
+
+    def corrupt(self, index: int, attempt: int, value: Any) -> Any:
+        """Replace ``value`` with a corruption sentinel when scheduled."""
+        fault = self.fault_for(index, attempt)
+        if fault is not None and fault.kind == "corrupt":
+            return Corrupted(index, attempt)
+        return value
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the REPRO_FAULTS activation path)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise the plan for the ``REPRO_FAULTS`` environment variable."""
+        payload: Dict[str, list] = {
+            str(index): [
+                {
+                    "kind": fault.kind,
+                    "attempts": list(fault.attempts),
+                    "duration": fault.duration,
+                    "message": fault.message,
+                }
+                for fault in faults
+            ]
+            for index, faults in self.faults.items()
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+            plan = {
+                int(index): tuple(
+                    Fault(
+                        kind=spec["kind"],
+                        attempts=tuple(spec.get("attempts", ())),
+                        duration=float(spec.get("duration", 3600.0)),
+                        message=str(spec.get("message", "injected fault")),
+                    )
+                    for spec in specs
+                )
+                for index, specs in payload.items()
+            }
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
+            raise ExecutionError(f"malformed {FAULTS_ENV_VAR} plan: {exc}") from exc
+        return cls(plan)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan encoded in ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+        environ = os.environ if environ is None else environ
+        text = environ.get(FAULTS_ENV_VAR, "").strip()
+        if not text:
+            return None
+        return cls.from_json(text)

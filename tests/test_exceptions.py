@@ -1,0 +1,84 @@
+"""The exception hierarchy must survive process boundaries intact.
+
+The fault-tolerant runtime ships worker exceptions back to the driver through
+``multiprocessing`` pickling, so every :class:`~repro.exceptions.ReproError`
+subclass — current and future — must round-trip through pickle with its type,
+message and arguments preserved.  The discovery is recursive over
+``__subclasses__()`` so a new exception added anywhere in the package is
+covered automatically.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro  # noqa: F401  (registers the whole package's exception classes)
+from repro.exceptions import ReproError
+from repro.runtime import ExceptionRecord
+
+
+def all_repro_errors():
+    """Every class in the ReproError hierarchy, depth-first, no duplicates."""
+    seen = []
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.append(cls)
+        stack.extend(cls.__subclasses__())
+    return seen
+
+
+ERROR_CLASSES = all_repro_errors()
+
+
+def test_hierarchy_is_nontrivial():
+    # Guard against the discovery silently collapsing: the seed hierarchy
+    # has ReproError plus at least a dozen concrete subclasses.
+    assert len(ERROR_CLASSES) >= 13
+    names = {cls.__name__ for cls in ERROR_CLASSES}
+    assert {"ReproError", "TranspilerError", "SimulationError",
+            "ExecutionError", "FaultInjectionError"} <= names
+
+
+@pytest.mark.parametrize(
+    "cls", ERROR_CLASSES, ids=lambda cls: cls.__name__
+)
+def test_pickle_roundtrip_preserves_type_and_message(cls):
+    original = cls("the calibration file is from the wrong device")
+    clone = pickle.loads(pickle.dumps(original))
+    assert type(clone) is cls
+    assert clone.args == original.args
+    assert str(clone) == str(original)
+    assert isinstance(clone, ReproError)
+
+
+@pytest.mark.parametrize(
+    "cls", ERROR_CLASSES, ids=lambda cls: cls.__name__
+)
+def test_pickle_roundtrip_preserves_extra_args(cls):
+    # Workers may raise with structured payloads, not just a message; the
+    # default Exception reduce protocol must carry every positional arg.
+    original = cls("message", {"pass": "router", "invariant": "connectivity"}, 7)
+    clone = pickle.loads(pickle.dumps(original))
+    assert type(clone) is cls
+    assert clone.args == original.args
+
+
+def test_exception_record_roundtrip():
+    # The runtime's pickle-safe stand-in for a worker exception: type name,
+    # message and formatted traceback survive, and the record itself pickles.
+    try:
+        raise ReproError("worker blew up")
+    except ReproError as exc:
+        record = ExceptionRecord.from_exception(exc)
+    assert record.type_name == "ReproError"
+    assert record.message == "worker blew up"
+    assert "worker blew up" in record.traceback_text
+    assert "ReproError" in record.traceback_text
+    clone = pickle.loads(pickle.dumps(record))
+    assert clone == record
+    assert str(clone) == "ReproError: worker blew up"
