@@ -25,7 +25,8 @@ pin this against frozen hashes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import copy
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..analysis.contracts import resolve_validation_mode
@@ -296,12 +297,45 @@ def build_pass_manager(method: str, ctx: _TranspileContext) -> PassManager:
         stage_names = PIPELINES[method]
     except KeyError as exc:
         raise TranspilerError(f"unknown compilation method {method!r}") from exc
+    return _build_partial_manager(stage_names, ctx)
+
+
+def _build_partial_manager(
+    stage_names: Tuple[str, ...], ctx: _TranspileContext
+) -> PassManager:
+    """A :class:`PassManager` over an explicit slice of a pipeline's stages."""
     manager = PassManager(validate=ctx.validate_mode)
     for stage_name in stage_names:
         stage = STAGE_BUILDERS[stage_name](ctx)
         if stage is not None:
             manager.append(stage)
     return manager
+
+
+#: The first seed-*dependent* stage of every pipeline.  Stages before it
+#: (unrolling, pre-placement clean-up) consume no randomness, so the level-3
+#: search runs them once and shares the decomposed circuit across candidates.
+_SEED_SEARCH_SPLIT_STAGE = "layout"
+
+
+def _split_stage_names(method: str) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """A pipeline's stage names split at the first seed-dependent stage.
+
+    Returns ``(prefix, suffix)`` with the split at
+    :data:`_SEED_SEARCH_SPLIT_STAGE`: the prefix is identical for every
+    candidate seed of a level-3 search, the suffix (placement onward) is what
+    each candidate re-runs.  A pipeline without a ``"layout"`` stage gets an
+    empty prefix — every stage re-runs per candidate, which is always correct.
+    """
+    try:
+        stage_names = PIPELINES[method]
+    except KeyError as exc:
+        raise TranspilerError(f"unknown compilation method {method!r}") from exc
+    try:
+        split = stage_names.index(_SEED_SEARCH_SPLIT_STAGE)
+    except ValueError:
+        return (), stage_names
+    return stage_names[:split], stage_names[split:]
 
 
 # ----------------------------------------------------------------------
@@ -504,22 +538,31 @@ def _candidate_seeds(seed: Optional[int], trials: int) -> List[Optional[int]]:
     return [seed + _SEED_STRIDE * index for index in range(trials)]
 
 
-def _seed_candidate(payload: Tuple["_TranspileContext", str, QuantumCircuit, Optional[int]]):
-    """Compile and score one level-3 candidate; process-pool entry point."""
-    base_ctx, method, circuit, candidate_seed = payload
-    ctx = _TranspileContext(
-        target=base_ctx.target,
-        layout=base_ctx.layout,
-        optimization_level=base_ctx.optimization_level,
-        seed=candidate_seed,
-        routing=base_ctx.routing,
-        toffoli_mode=base_ctx.toffoli_mode,
-        second_decomposition=base_ctx.second_decomposition,
-        overlap_optimization=base_ctx.overlap_optimization,
-        edge_weights=base_ctx.edge_weights,
-        validate_mode=base_ctx.validate_mode,
-    )
-    compiled, properties = build_pass_manager(method, ctx).run(circuit)
+def _seed_candidate(
+    payload: Tuple[
+        "_TranspileContext", str, QuantumCircuit, Optional[PropertySet], Optional[int]
+    ]
+):
+    """Compile and score one level-3 candidate; process-pool entry point.
+
+    ``circuit`` and ``prefix_properties`` are the output of the shared
+    seed-independent pipeline prefix (decomposition + pre-placement clean-up),
+    run once by :func:`_run_seed_search`; each candidate deep-copies the
+    property set before running the suffix stages so candidates never observe
+    each other's pass telemetry (the serial ``jobs=1`` path shares the
+    object).  ``prefix_properties=None`` means no prefix ran — the candidate
+    compiles the full pipeline itself.
+    """
+    base_ctx, method, circuit, prefix_properties, candidate_seed = payload
+    ctx = replace(base_ctx, seed=candidate_seed)
+    if prefix_properties is None:
+        manager = build_pass_manager(method, ctx)
+        properties = None
+    else:
+        _, suffix_names = _split_stage_names(method)
+        manager = _build_partial_manager(suffix_names, ctx)
+        properties = copy.deepcopy(prefix_properties)
+    compiled, properties = manager.run(circuit, properties)
     cnots = compiled.two_qubit_gate_count(count_swap_as=3)
     depth = compiled.depth()
     success = base_ctx.target.estimated_success(compiled)
@@ -550,11 +593,27 @@ def _run_seed_search(
     serially in the driver process if its worker was lost — so a level-3
     compile can never fail because of a flaky worker, and its result is
     always at least the base seed's.
+
+    The pipeline's seed-independent prefix — decomposition and the
+    pre-placement clean-up, everything before the ``"layout"`` stage — is
+    identical across candidates, so it runs **once** here and every candidate
+    resumes from the decomposed circuit (roughly halving the search cost;
+    ``tests/test_transpile.py`` pins byte-identity against the full per-seed
+    pipeline).
     """
     jobs = resolve_jobs(jobs)
     trials = seed_trials if seed_trials is not None else DEFAULT_SEED_TRIALS
     seeds = _candidate_seeds(ctx.seed, trials)
-    payloads = [(ctx, method, circuit, candidate_seed) for candidate_seed in seeds]
+    prefix_names, _ = _split_stage_names(method)
+    prefix_properties: Optional[PropertySet] = None
+    if prefix_names:
+        circuit, prefix_properties = _build_partial_manager(prefix_names, ctx).run(
+            circuit
+        )
+    payloads = [
+        (ctx, method, circuit, prefix_properties, candidate_seed)
+        for candidate_seed in seeds
+    ]
     runner = CellRunner(
         jobs=jobs,
         policy=FailurePolicy(retries=1, on_error="skip"),
@@ -599,6 +658,7 @@ def _run_seed_search(
         "chosen_seed": seeds[best_index],
         "chosen_index": best_index,
         "jobs": jobs,
+        "prefix_stages": list(prefix_names),
         "failed_seeds": failed_seeds,
         "candidates": [
             {

@@ -222,7 +222,7 @@ def sampled_success(
     logical circuit repeatedly should hoist it.  With ``exact=True`` the
     backend's analytic ``run_probabilities`` replaces shot sampling, so the
     returned probability carries zero shot variance (requires a
-    probability-capable backend such as ``"density"``).
+    probability-capable backend such as ``"density"`` or ``"ptm"``).
     """
     if expected is None:
         expected = ideal_expected_outcome(logical)
@@ -233,7 +233,7 @@ def sampled_success(
         if not supports_exact_probabilities(engine):
             raise ReproError(
                 f"backend {backend!r} cannot produce exact probabilities; "
-                "use 'density' (noisy) or 'ideal' (noiseless)"
+                "use 'density' or 'ptm' (noisy) or 'ideal' (noiseless)"
             )
         return engine.run_probabilities(circuit, measured_qubits=measured).get(
             expected, 0.0
@@ -263,8 +263,8 @@ def compare_benchmark(
         backend: ``"analytic"`` evaluates the paper's closed-form success
             model (§2.6, the default); any registered
             :class:`~repro.sim.SimulationBackend` name (``"failure"``,
-            ``"trajectory"``, ``"density"``, ``"ideal"``) instead *samples*
-            the compiled circuits for ``shots`` shots.
+            ``"trajectory"``, ``"density"``, ``"ptm"``, ``"ideal"``) instead
+            *samples* the compiled circuits for ``shots`` shots.
         shots: Shots per circuit when a sampling backend is selected.
         expected: Precomputed :func:`ideal_expected_outcome` for sampling
             backends; computed on the fly when omitted.
@@ -272,7 +272,7 @@ def compare_benchmark(
             construct each logical circuit once instead of once per cell.
         exact: Evaluate analytic success probabilities via the backend's
             ``run_probabilities`` (zero shot variance) instead of sampling;
-            requires a probability-capable backend such as ``"density"``.
+            requires a probability-capable backend such as ``"density"`` or ``"ptm"``.
     """
     if circuit is None:
         circuit = get_benchmark(benchmark)
@@ -368,7 +368,7 @@ def run_benchmark_experiment(
             randomness from the seed carried in its own payload).
         exact: Record the backend's analytic success probabilities instead
             of sampled frequencies (zero shot variance); requires a
-            probability-capable backend such as ``"density"``.
+            probability-capable backend such as ``"density"`` or ``"ptm"``.
         timeout: Per-cell wall-clock seconds (pool mode) before a hung cell's
             worker is killed and the cell retried; ``None`` disables.
         retries: Extra attempts per faulted cell (crash, timeout, exception).

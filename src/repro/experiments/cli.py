@@ -6,15 +6,16 @@ Usage (after ``pip install -e .``)::
     python -m repro table1
     python -m repro toffoli --triplets 35 --shots 2048
     python -m repro toffoli --exact                 # analytic, shot-free
-    python -m repro benchmarks --backend density
+    python -m repro benchmarks --backend ptm --exact
     python -m repro sensitivity --exact --jobs 4
     python -m repro compile grovers-9 --pipeline trios
     python -m repro all
 
 Each subcommand prints the corresponding table/figure data as plain text (the
 same formatting used by the pytest-benchmark harness under ``benchmarks/``).
-``--exact`` switches the success metric from sampled frequencies to the
-density-matrix backend's analytic probabilities (zero shot variance).
+``--exact`` switches the success metric from sampled frequencies to an
+exact backend's analytic probabilities (zero shot variance) — either the
+density-matrix engine or the faster Pauli-transfer-matrix one (``ptm``).
 """
 
 from __future__ import annotations
@@ -28,7 +29,12 @@ from ..bench_circuits.suite import get_benchmark
 from ..compiler.pipeline import PIPELINES, transpile
 from ..hardware.calibration import near_term_calibration
 from ..hardware.library import PAPER_TOPOLOGIES, by_name
-from ..sim import BACKEND_DESCRIPTIONS, BACKEND_NAMES, EXACT_PROBABILITY_BACKENDS
+from ..sim import (
+    BACKEND_CAPABILITIES,
+    BACKEND_DESCRIPTIONS,
+    BACKEND_NAMES,
+    EXACT_PROBABILITY_BACKENDS,
+)
 from .benchmarks import run_benchmark_experiment
 from .report import (
     format_benchmark_normalized,
@@ -242,7 +248,8 @@ def _print_pass_profile(result) -> None:
 def _list_backends() -> None:
     print("Registered simulation backends (repro.sim.get_backend):\n")
     for name in BACKEND_NAMES:
-        print(f"  {name:12s} {BACKEND_DESCRIPTIONS[name]}")
+        capability = BACKEND_CAPABILITIES[name]
+        print(f"  {name:12s} [{capability:7s}] {BACKEND_DESCRIPTIONS[name]}")
 
 
 def _run_toffoli(triplets: int, shots: int, seed: int, sampler: str = "failure",

@@ -171,7 +171,7 @@ def run_sensitivity_experiment(
             identical either way.
         exact: Evaluate analytic success probabilities via the backend's
             ``run_probabilities`` (zero shot variance, no shot-noise floor);
-            requires a probability-capable backend such as ``"density"``.
+            requires a probability-capable backend such as ``"density"`` or ``"ptm"``.
         timeout: Per-curve wall-clock seconds (pool mode) before a hung
             cell's worker is killed and the cell retried; ``None`` disables.
         retries: Extra attempts per faulted curve.

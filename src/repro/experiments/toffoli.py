@@ -230,12 +230,13 @@ def run_toffoli_experiment(
         sampler: Name of a registered :class:`~repro.sim.SimulationBackend` —
             ``"failure"`` for the fast gate-failure model, ``"trajectory"``
             for the stochastic-Pauli Monte Carlo (slower, more detailed),
-            ``"density"`` for exact density-matrix evolution, or ``"ideal"``
+            ``"density"`` for exact density-matrix evolution, ``"ptm"`` for
+            the faster exact Pauli-transfer-matrix engine, or ``"ideal"``
             for a noiseless control run.
         exact: Record the backend's *analytic* |111⟩ probability
             (``run_probabilities``) instead of a sampled frequency — zero
             shot variance.  Requires a probability-capable backend
-            (``"density"`` or ``"ideal"``).
+            (``"density"``, ``"ptm"`` or ``"ideal"``).
         jobs: Worker processes for the per-triplet cells; ``1`` (the default)
             runs serially, ``0`` uses all CPUs.  Every cell derives its
             randomness from ``seed + index``, so parallel runs are

@@ -23,6 +23,10 @@ Module map
 * :mod:`~repro.sim.density` — the exact open-system engine: density-matrix
   evolution under the same channels, analytic outcome distributions
   (``run_probabilities``) and multinomial shot sampling (``run_counts``).
+* :mod:`~repro.sim.ptm` — the fast exact open-system engine: the same noise
+  model evolved as a real ``4^n`` Pauli-transfer-matrix vector (quantumsim
+  style) with channel fusion and optional component truncation — half the
+  memory of the density matrix and one real contraction per fused operation.
 * :mod:`~repro.sim.estimator` — the paper's closed-form success model (§2.6).
 * :mod:`~repro.sim.result` — the :class:`NoisyResult` counts container.
 
@@ -32,8 +36,9 @@ NoisyResult`` — so experiment code can select an execution model by name via
 :func:`get_backend` instead of hard-wiring sampler classes.  Backends that can
 also produce *exact* outcome distributions additionally expose
 ``run_probabilities(circuit, measured_qubits) -> {bitstring: probability}``
-(``"density"`` and ``"ideal"`` today); :func:`supports_exact_probabilities`
-tests for that capability.
+(``"density"``, ``"ptm"`` and ``"ideal"`` today);
+:func:`supports_exact_probabilities` tests for that capability, and
+``BACKEND_CAPABILITIES`` records the exact/sampled classification per name.
 """
 
 from __future__ import annotations
@@ -87,6 +92,7 @@ from .channels import (
     unitary_channel,
 )
 from .density import DensityMatrixSimulator
+from .ptm import PauliTransferMatrixSimulator
 from .noise import PauliTrajectorySampler, GateFailureSampler
 
 
@@ -110,24 +116,40 @@ BACKEND_DESCRIPTIONS: Dict[str, str] = {
     "failure": "the paper's gate-failure model, vectorized over shots",
     "trajectory": "stochastic-Pauli Monte Carlo, one evolution per unique error pattern",
     "density": "exact density-matrix evolution; analytic probabilities, multinomial counts",
+    "ptm": "exact Pauli-transfer-matrix evolution with channel fusion; fast exact path",
     "ideal": "noiseless statevector sampling",
 }
 
 #: Registered backend names, in documentation order.
 BACKEND_NAMES: Tuple[str, ...] = tuple(BACKEND_DESCRIPTIONS)
 
+#: Capability classification per registered backend: ``"exact"`` engines
+#: expose analytic ``run_probabilities``; ``"sampled"`` engines only produce
+#: shot counts.  Every ``BACKEND_NAMES`` entry must appear here (enforced by
+#: ``tests/test_backend_registry.py``).
+BACKEND_CAPABILITIES: Dict[str, str] = {
+    "failure": "sampled",
+    "trajectory": "sampled",
+    "density": "exact",
+    "ptm": "exact",
+    "ideal": "exact",
+}
+
 #: Names (and aliases) whose :func:`get_backend` result exposes
-#: ``run_probabilities`` — keep in sync with the registry below; the CLI's
-#: ``--exact`` mode substitutes ``"density"`` for anything not listed here.
-EXACT_PROBABILITY_BACKENDS: Tuple[str, ...] = ("density", "ideal", "statevector")
+#: ``run_probabilities`` — the ``"exact"`` entries of ``BACKEND_CAPABILITIES``
+#: plus the ``"statevector"`` alias; the CLI's ``--exact`` mode substitutes
+#: ``"density"`` for anything not listed here.
+EXACT_PROBABILITY_BACKENDS: Tuple[str, ...] = tuple(
+    name for name, kind in BACKEND_CAPABILITIES.items() if kind == "exact"
+) + ("statevector",)
 
 
 def supports_exact_probabilities(backend: object) -> bool:
     """Whether ``backend`` can return analytic outcome distributions.
 
-    True for engines exposing ``run_probabilities`` (the ``"density"`` and
-    ``"ideal"`` backends); the experiment drivers' ``exact=True`` mode
-    requires this capability.
+    True for engines exposing ``run_probabilities`` (the ``"density"``,
+    ``"ptm"`` and ``"ideal"`` backends); the experiment drivers'
+    ``exact=True`` mode requires this capability.
     """
     return callable(getattr(backend, "run_probabilities", None))
 
@@ -144,8 +166,10 @@ def get_backend(
         name: ``"failure"`` for the fast gate-failure model, ``"trajectory"``
             for the stochastic-Pauli Monte Carlo, ``"density"`` for exact
             density-matrix evolution (multinomial shot sampling, plus
-            ``run_probabilities``), ``"ideal"`` (alias ``"statevector"``) for
-            noiseless sampling.
+            ``run_probabilities``), ``"ptm"`` for the fused
+            Pauli-transfer-matrix engine (same exact semantics as
+            ``"density"``, typically several times faster), ``"ideal"``
+            (alias ``"statevector"``) for noiseless sampling.
         calibration: Device error model; required by the noisy backends and
             ignored by the ideal one.
         seed: Seed for the backend's random generator (``run_counts`` may
@@ -160,7 +184,7 @@ def get_backend(
     key = name.lower()
     if key in ("ideal", "statevector"):
         return StatevectorSimulator(seed=seed, **kwargs)
-    if key in ("failure", "trajectory", "density") and calibration is None:
+    if key in ("failure", "trajectory", "density", "ptm") and calibration is None:
         raise SimulationError(f"backend {name!r} requires a device calibration")
     if key == "failure":
         return GateFailureSampler(calibration, seed=seed, **kwargs)
@@ -168,6 +192,8 @@ def get_backend(
         return PauliTrajectorySampler(calibration, seed=seed, **kwargs)
     if key == "density":
         return DensityMatrixSimulator(calibration, seed=seed, **kwargs)
+    if key == "ptm":
+        return PauliTransferMatrixSimulator(calibration, seed=seed, **kwargs)
     raise SimulationError(
         f"unknown simulation backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
     )
@@ -177,11 +203,13 @@ __all__ = [
     "SimulationBackend",
     "BACKEND_NAMES",
     "BACKEND_DESCRIPTIONS",
+    "BACKEND_CAPABILITIES",
     "EXACT_PROBABILITY_BACKENDS",
     "get_backend",
     "supports_exact_probabilities",
     "StatevectorSimulator",
     "DensityMatrixSimulator",
+    "PauliTransferMatrixSimulator",
     "zero_state",
     "basis_state",
     "apply_matrix",

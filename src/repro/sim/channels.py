@@ -59,6 +59,95 @@ def pauli_matrix(label: str) -> np.ndarray:
     return matrix
 
 
+# ----------------------------------------------------------------------
+# Pauli transfer matrices (the basis the PTM backend evolves in)
+# ----------------------------------------------------------------------
+#: Basis-change matrices ``A_k`` from row-major ``vec`` to the normalized
+#: Pauli basis, keyed by qubit count.  ``A_k`` is unitary (the normalized
+#: Paulis are orthonormal under the Hilbert-Schmidt inner product), so the
+#: PTM of a channel with superoperator ``S`` is ``A S A†`` — real for any
+#: Hermiticity-preserving map.
+_PAULI_BASIS_CACHE: Dict[int, np.ndarray] = {}
+
+
+def pauli_basis_matrix(num_qubits: int) -> np.ndarray:
+    """The unitary ``4^k x 4^k`` change of basis from ``vec`` to Pauli.
+
+    Row ``alpha`` is ``conj(vec(P_alpha)) / sqrt(2^k)`` with the Pauli strings
+    enumerated in base-4 digit order (I, X, Y, Z per qubit, first qubit most
+    significant — the same ordering as :func:`pauli_matrix` labels), so
+    ``pauli_basis_matrix(k) @ vec(rho)`` is the vector of normalized Pauli
+    coefficients ``Tr(P_alpha rho) / sqrt(2^k)``.
+    """
+    if num_qubits < 1:
+        raise SimulationError("need at least one qubit")
+    cached = _PAULI_BASIS_CACHE.get(num_qubits)
+    if cached is None:
+        scale = 1.0 / math.sqrt(2**num_qubits)
+        rows = [
+            scale * pauli_matrix("".join(label)).reshape(-1).conj()
+            for label in itertools.product(PAULI_LABELS, repeat=num_qubits)
+        ]
+        cached = np.ascontiguousarray(np.array(rows))
+        cached.setflags(write=False)
+        _PAULI_BASIS_CACHE[num_qubits] = cached
+    return cached
+
+
+def ptm_from_superoperator(superoperator: np.ndarray) -> np.ndarray:
+    """Conjugate a row-major superoperator into the normalized Pauli basis.
+
+    The result of a CPTP (or any Hermiticity-preserving) map is real; the
+    imaginary part left by floating-point round-off is validated tiny and
+    dropped, so the PTM backend evolves in pure float64 arithmetic.
+    """
+    dim = superoperator.shape[0]
+    num_qubits = (int(dim).bit_length() - 1) // 2
+    if dim != 4**num_qubits or superoperator.shape != (dim, dim):
+        raise SimulationError(
+            f"superoperator of shape {superoperator.shape} is not 4^k x 4^k"
+        )
+    basis = pauli_basis_matrix(num_qubits)
+    ptm = basis @ superoperator @ basis.conj().T
+    residue = float(np.abs(ptm.imag).max())
+    if residue > 1e-9:
+        raise SimulationError(
+            f"superoperator is not Hermiticity-preserving: PTM has imaginary "
+            f"residue {residue:g}"
+        )
+    real = np.ascontiguousarray(ptm.real)
+    real.setflags(write=False)
+    return real
+
+
+#: Memoized PTMs of *unitary* gates, keyed by the matrix bytes.  Gate
+#: matrices are interned read-only singletons for parameter-free gates, so
+#: the common case is one entry per distinct gate; parameterized gates
+#: (``u3`` after consolidation) hash by content.  Bounded like the
+#: commutation memo: cleared wholesale on overflow rather than growing
+#: without limit under adversarial parameter streams.
+_UNITARY_PTM_CACHE: Dict[Tuple[int, bytes], np.ndarray] = {}
+_UNITARY_PTM_CACHE_LIMIT = 50_000
+
+
+def unitary_ptm(matrix: np.ndarray) -> np.ndarray:
+    """The real ``4^k x 4^k`` Pauli transfer matrix of a unitary ``U``.
+
+    ``R = A (U ⊗ U*) A†`` with ``A`` the normalized Pauli basis change —
+    the same math as :meth:`QuantumChannel.ptm` without building a channel
+    object per gate instruction.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    key = (matrix.shape[0], matrix.tobytes())
+    cached = _UNITARY_PTM_CACHE.get(key)
+    if cached is None:
+        if len(_UNITARY_PTM_CACHE) >= _UNITARY_PTM_CACHE_LIMIT:
+            _UNITARY_PTM_CACHE.clear()
+        cached = ptm_from_superoperator(np.kron(matrix, matrix.conj()))
+        _UNITARY_PTM_CACHE[key] = cached
+    return cached
+
+
 class QuantumChannel:
     """A completely-positive trace-preserving map on ``k`` qubits.
 
@@ -92,6 +181,7 @@ class QuantumChannel:
         self.kraus = operators
         self._superoperator: Optional[np.ndarray] = None
         self._choi: Optional[np.ndarray] = None
+        self._ptm: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -116,6 +206,22 @@ class QuantumChannel:
             total.setflags(write=False)
             self._superoperator = total
         return self._superoperator
+
+    def ptm(self) -> np.ndarray:
+        """The real ``4^k x 4^k`` Pauli transfer matrix of this channel.
+
+        ``R[alpha, beta] = Tr(P_alpha E(P_beta)) / 2^k`` in the normalized
+        Pauli basis — derived from the cached superoperator by the Pauli
+        basis change (:func:`ptm_from_superoperator`), computed once and
+        cached read-only.  Because :class:`NoiseModel` memoizes channels per
+        calibration, every repeated instruction shares one PTM, exactly as it
+        shares one superoperator today.  The PTM backend
+        (:mod:`repro.sim.ptm`) applies this with a single real contraction
+        per channel.
+        """
+        if self._ptm is None:
+            self._ptm = ptm_from_superoperator(self.superoperator())
+        return self._ptm
 
     def choi(self) -> np.ndarray:
         """The Choi matrix ``sum_K vec(K) vec(K)†`` (row-major ``vec``)."""

@@ -202,20 +202,9 @@ class DensityMatrixSimulator:
         distribution = marginal_distribution(
             probabilities, reduced.num_qubits, compact_measured
         )
-        noisy = self.noise_model is not None
-        if noisy and self.include_decoherence and self.decoherence == "global":
-            duration = circuit_duration(circuit.without(["barrier"]), self.calibration)
-            failure = self.noise_model.decoherence_failure_probability(duration)
-            distribution = (1.0 - failure) * distribution + failure / distribution.size
-        if (
-            noisy
-            and self.include_readout_error
-            and self.calibration.readout_error > 0
-            and measured_qubits
-        ):
-            distribution = _apply_confusion(
-                distribution, len(measured_qubits), self.noise_model.readout_confusion()
-            )
+        distribution = finish_exact_distribution(
+            distribution, circuit, self, len(measured_qubits)
+        )
         return distribution, measured_qubits
 
     # ------------------------------------------------------------------
@@ -296,7 +285,7 @@ class DensityMatrixSimulator:
         )
 
 
-def _apply_confusion(
+def apply_confusion(
     distribution: np.ndarray, width: int, confusion: np.ndarray
 ) -> np.ndarray:
     """Apply the per-bit readout confusion matrix to an outcome distribution."""
@@ -306,3 +295,38 @@ def _apply_confusion(
             np.tensordot(confusion, tensor, axes=([1], [axis])), 0, axis
         )
     return tensor.reshape(-1)
+
+
+def finish_exact_distribution(
+    distribution: np.ndarray,
+    circuit: QuantumCircuit,
+    simulator,
+    num_measured: int,
+) -> np.ndarray:
+    """The classical noise tail shared by the exact backends.
+
+    Applies the paper's whole-register decoherence scramble (``"global"``
+    mode) and the per-bit readout confusion to a marginal outcome
+    distribution.  ``simulator`` is any engine with the density-style noise
+    attributes (``noise_model``, ``calibration``, ``include_decoherence``,
+    ``decoherence``, ``include_readout_error``) — the density and PTM
+    backends both delegate here, so their post-quantum processing can never
+    drift apart.
+    """
+    noisy = simulator.noise_model is not None
+    if noisy and simulator.include_decoherence and simulator.decoherence == "global":
+        duration = circuit_duration(
+            circuit.without(["barrier"]), simulator.calibration
+        )
+        failure = simulator.noise_model.decoherence_failure_probability(duration)
+        distribution = (1.0 - failure) * distribution + failure / distribution.size
+    if (
+        noisy
+        and simulator.include_readout_error
+        and simulator.calibration.readout_error > 0
+        and num_measured
+    ):
+        distribution = apply_confusion(
+            distribution, num_measured, simulator.noise_model.readout_confusion()
+        )
+    return distribution

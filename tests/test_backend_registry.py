@@ -1,0 +1,100 @@
+"""Consistency of the backend registry (``repro.sim``).
+
+Every registered backend name must carry a description and an explicit
+exact/sampled capability classification, and the derived structures
+(``EXACT_PROBABILITY_BACKENDS``, ``supports_exact_probabilities``, the
+``require_exact_capable_backend`` guard) must agree with that classification
+— so a new backend can't silently drift out of ``--list-backends`` or the
+``--exact`` validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError, SimulationError
+from repro.experiments.benchmarks import require_exact_capable_backend
+from repro.hardware import johannesburg_aug19_2020
+from repro.sim import (
+    BACKEND_CAPABILITIES,
+    BACKEND_DESCRIPTIONS,
+    BACKEND_NAMES,
+    EXACT_PROBABILITY_BACKENDS,
+    SimulationBackend,
+    get_backend,
+    supports_exact_probabilities,
+)
+
+
+class TestRegistryConsistency:
+    def test_every_name_has_a_description(self):
+        for name in BACKEND_NAMES:
+            assert name in BACKEND_DESCRIPTIONS
+            assert BACKEND_DESCRIPTIONS[name].strip()
+
+    def test_every_name_has_a_capability_classification(self):
+        for name in BACKEND_NAMES:
+            assert name in BACKEND_CAPABILITIES, (
+                f"backend {name!r} has no exact/sampled classification; add "
+                "it to BACKEND_CAPABILITIES"
+            )
+            assert BACKEND_CAPABILITIES[name] in ("exact", "sampled")
+
+    def test_no_orphan_descriptions_or_capabilities(self):
+        assert set(BACKEND_DESCRIPTIONS) == set(BACKEND_NAMES)
+        assert set(BACKEND_CAPABILITIES) == set(BACKEND_NAMES)
+
+    def test_exact_probability_backends_match_classification(self):
+        exact = {
+            name for name, kind in BACKEND_CAPABILITIES.items() if kind == "exact"
+        }
+        # EXACT_PROBABILITY_BACKENDS is the exact set plus the "statevector"
+        # alias for "ideal".
+        assert set(EXACT_PROBABILITY_BACKENDS) == exact | {"statevector"}
+
+    def test_constructed_backends_match_their_classification(self):
+        calibration = johannesburg_aug19_2020()
+        for name in BACKEND_NAMES:
+            backend = get_backend(name, calibration, seed=7)
+            assert isinstance(backend, SimulationBackend)
+            expected_exact = BACKEND_CAPABILITIES[name] == "exact"
+            assert supports_exact_probabilities(backend) == expected_exact, (
+                f"backend {name!r} is classified "
+                f"{BACKEND_CAPABILITIES[name]!r} but "
+                f"supports_exact_probabilities says {not expected_exact}"
+            )
+
+    def test_statevector_alias_resolves_like_ideal(self):
+        ideal = get_backend("ideal", seed=3)
+        alias = get_backend("statevector", seed=3)
+        assert type(alias) is type(ideal)
+        assert supports_exact_probabilities(alias)
+
+    def test_unknown_name_error_lists_every_backend(self):
+        with pytest.raises(SimulationError) as excinfo:
+            get_backend("qpu")
+        for name in BACKEND_NAMES:
+            assert name in str(excinfo.value)
+
+    def test_noisy_backends_require_calibration(self):
+        for name, kind in BACKEND_CAPABILITIES.items():
+            if name == "ideal":
+                continue  # the only calibration-free backend
+            with pytest.raises(SimulationError, match="calibration"):
+                get_backend(name)
+
+
+class TestExactCapableGuard:
+    def test_accepts_every_exact_backend(self):
+        for name in EXACT_PROBABILITY_BACKENDS:
+            require_exact_capable_backend(name)
+            require_exact_capable_backend(name.upper())  # case-insensitive
+
+    def test_rejects_every_sampled_backend(self):
+        for name, kind in BACKEND_CAPABILITIES.items():
+            if kind == "exact":
+                continue
+            with pytest.raises(ReproError, match="analytic"):
+                require_exact_capable_backend(name)
+        with pytest.raises(ReproError, match="analytic"):
+            require_exact_capable_backend("analytic")

@@ -1,0 +1,454 @@
+"""Tests for the Pauli-transfer-matrix backend (``repro.sim.ptm``).
+
+Three layers of evidence that ``"ptm"`` is an exact drop-in for
+``"density"``:
+
+1. the basis change itself — PTM ↔ superoperator round-trips for every
+   channel constructor (hypothesis, full parameter ranges) and closed-form
+   PTMs for the channels with textbook forms;
+2. the engine — noiseless agreement with the statevector and ``1e-9``
+   agreement with the density backend on the compiled Figure 6-8 cells,
+   with fusion on or off;
+3. the plumbing — registry construction, capability classification, the
+   fusion/truncation knobs and the error paths.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.experiments.toffoli import CONFIGURATIONS, compile_configuration
+from repro.hardware import johannesburg, johannesburg_aug19_2020
+from repro.sim import (
+    DensityMatrixSimulator,
+    PauliTransferMatrixSimulator,
+    StatevectorSimulator,
+    get_backend,
+    supports_exact_probabilities,
+)
+from repro.sim.channels import (
+    amplitude_damping_channel,
+    amplitude_phase_damping_channel,
+    depolarizing_channel,
+    idle_channel,
+    pauli_basis_matrix,
+    pauli_channel,
+    pauli_matrix,
+    phase_damping_channel,
+    ptm_from_superoperator,
+    unitary_channel,
+    unitary_ptm,
+)
+from repro.sim.ptm import (
+    apply_ptm,
+    fuse_ptm_ops,
+    pauli_probabilities,
+    ptm_wires,
+    zero_pauli_state,
+)
+from tests.test_density import SMALL_TRIPLETS, toffoli_workload
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+angles = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+
+
+def assert_round_trips(channel) -> None:
+    """PTM = A S A† must be real and invert back to the superoperator."""
+    superoperator = channel.superoperator()
+    ptm = channel.ptm()
+    num_qubits = channel.num_qubits
+    assert ptm.shape == (4**num_qubits, 4**num_qubits)
+    assert ptm.dtype == np.float64
+    basis = pauli_basis_matrix(num_qubits)
+    recovered = basis.conj().T @ ptm @ basis
+    assert np.abs(recovered - superoperator).max() < 1e-9, channel
+    # Trace preservation reads as a [1, 0, ..., 0] top row in the Pauli basis.
+    top = np.zeros(4**num_qubits)
+    top[0] = 1.0
+    assert np.abs(ptm[0] - top).max() < 1e-9, channel
+
+
+class TestBasisChangeRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(p=probabilities, num_qubits=st.integers(1, 2))
+    def test_depolarizing(self, p, num_qubits):
+        assert_round_trips(depolarizing_channel(p, num_qubits))
+
+    @settings(max_examples=60, deadline=None)
+    @given(weights=st.lists(probabilities, min_size=3, max_size=3))
+    def test_pauli(self, weights):
+        total = sum(weights) or 1.0
+        scaled = [w / total * 0.9 for w in weights]
+        channel = pauli_channel(
+            {"X": scaled[0], "Y": scaled[1], "Z": scaled[2]}, num_qubits=1
+        )
+        assert_round_trips(channel)
+
+    @settings(max_examples=60, deadline=None)
+    @given(gamma=probabilities, lam=probabilities)
+    def test_amplitude_phase_damping(self, gamma, lam):
+        if gamma + lam > 1.0:
+            gamma, lam = gamma / 2, lam / 2
+        assert_round_trips(amplitude_phase_damping_channel(gamma, lam))
+
+    @settings(max_examples=40, deadline=None)
+    @given(gamma=probabilities)
+    def test_amplitude_damping(self, gamma):
+        assert_round_trips(amplitude_damping_channel(gamma))
+
+    @settings(max_examples=40, deadline=None)
+    @given(lam=probabilities)
+    def test_phase_damping(self, lam):
+        assert_round_trips(phase_damping_channel(lam))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        duration=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        t1=st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+        t2=st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+    )
+    def test_idle(self, duration, t1, t2):
+        assert_round_trips(idle_channel(duration, t1, min(t2, 2 * t1)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(theta=angles, phi=angles, lam=angles)
+    def test_unitary(self, theta, phi, lam):
+        from repro.circuits.library import u3_gate
+
+        assert_round_trips(unitary_channel(u3_gate(theta, phi, lam).matrix()))
+
+    def test_every_calibrated_gate_channel(self):
+        from repro.circuits.library import cx_gate, h_gate
+        from repro.circuits.circuit import Instruction
+        from repro.sim.channels import NoiseModel
+
+        model = NoiseModel(johannesburg_aug19_2020())
+        for gate, qubits in ((h_gate(), (0,)), (cx_gate(), (0, 1))):
+            channel = model.gate_channel(Instruction(gate, qubits))
+            if channel is not None:
+                assert_round_trips(channel)
+
+    def test_rejects_non_square_superoperator(self):
+        with pytest.raises(SimulationError, match="4\\^k"):
+            ptm_from_superoperator(np.eye(3))
+
+    def test_rejects_non_hermiticity_preserving_map(self):
+        # A superoperator with a complex PTM residue: vec-basis matrix units
+        # are not Hermiticity-preserving.
+        bad = np.zeros((4, 4), dtype=complex)
+        bad[0, 0] = 1.0
+        bad[1, 2] = 1.0j
+        bad[2, 1] = 1.0j
+        bad[3, 3] = 1.0
+        with pytest.raises(SimulationError, match="Hermiticity"):
+            ptm_from_superoperator(bad)
+
+
+class TestClosedForms:
+    def test_depolarizing_contracts_xyz_components(self):
+        # This repo's depolarizing_channel(p) applies a uniformly random
+        # *non-identity* Pauli with probability p, so each of X, Y, Z fires
+        # with p/3 and the Bloch contraction is 1 - 4p/3 (the standard
+        # "1 - p" form corresponds to the p' = 4p/3 parameterization).
+        for p in (0.0, 0.1, 0.3, 0.75):
+            contraction = 1.0 - 4.0 * p / 3.0
+            expected = np.diag([1.0, contraction, contraction, contraction])
+            assert np.abs(depolarizing_channel(p).ptm() - expected).max() < 1e-12
+
+    def test_amplitude_damping_known_form(self):
+        for gamma in (0.0, 0.2, 0.7, 1.0):
+            s = math.sqrt(1.0 - gamma)
+            expected = np.array(
+                [
+                    [1.0, 0.0, 0.0, 0.0],
+                    [0.0, s, 0.0, 0.0],
+                    [0.0, 0.0, s, 0.0],
+                    [gamma, 0.0, 0.0, 1.0 - gamma],
+                ]
+            )
+            actual = amplitude_damping_channel(gamma).ptm()
+            assert np.abs(actual - expected).max() < 1e-12
+
+    def test_phase_damping_known_form(self):
+        for lam in (0.0, 0.4, 1.0):
+            s = math.sqrt(1.0 - lam)
+            expected = np.diag([1.0, s, s, 1.0])
+            assert np.abs(phase_damping_channel(lam).ptm() - expected).max() < 1e-12
+
+    def test_unitary_ptm_of_paulis_is_signature_diagonal(self):
+        # Conjugation by X preserves I and X, flips Y and Z; etc.
+        for label, signs in (
+            ("X", [1, 1, -1, -1]),
+            ("Y", [1, -1, 1, -1]),
+            ("Z", [1, -1, -1, 1]),
+            ("I", [1, 1, 1, 1]),
+        ):
+            actual = unitary_ptm(pauli_matrix(label))
+            assert np.abs(actual - np.diag(signs)).max() < 1e-12
+
+    def test_ptm_is_cached_on_the_channel(self):
+        channel = depolarizing_channel(0.1)
+        assert channel.ptm() is channel.ptm()
+
+    def test_unitary_ptm_is_memoized(self):
+        matrix = pauli_matrix("X")
+        assert unitary_ptm(matrix) is unitary_ptm(matrix)
+
+
+class TestPauliVectorPrimitives:
+    def test_zero_state_reads_all_zeros(self):
+        for n in (1, 2, 3):
+            probabilities_ = pauli_probabilities(zero_pauli_state(n), n)
+            expected = np.zeros(2**n)
+            expected[0] = 1.0
+            assert np.abs(probabilities_ - expected).max() < 1e-12
+
+    def test_zero_state_normalization(self):
+        # Tr(rho^2) = sum of squared Pauli coefficients = 1 for a pure state.
+        for n in (1, 2, 4):
+            assert abs(np.dot(zero_pauli_state(n), zero_pauli_state(n)) - 1.0) < 1e-12
+
+    def test_ptm_wires_mapping(self):
+        assert ptm_wires((0,)) == (0, 1)
+        assert ptm_wires((2, 0)) == (4, 5, 0, 1)
+
+    def test_apply_x_ptm_flips_outcome(self):
+        state = zero_pauli_state(2)
+        state = apply_ptm(state, unitary_ptm(pauli_matrix("X")), (1,), 2)
+        probabilities_ = pauli_probabilities(state, 2)
+        assert abs(probabilities_[0b01] - 1.0) < 1e-12
+
+    def test_apply_ptm_rejects_wrong_shape(self):
+        with pytest.raises(SimulationError, match="does not act on"):
+            apply_ptm(zero_pauli_state(2), np.eye(4), (0, 1), 2)
+
+    def test_zero_state_requires_a_qubit(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            zero_pauli_state(0)
+
+
+class TestFusion:
+    def test_consecutive_1q_ops_fuse_to_one(self):
+        a = unitary_ptm(pauli_matrix("X"))
+        b = unitary_ptm(pauli_matrix("Z"))
+        fused = fuse_ptm_ops([((0,), a), ((0,), b)])
+        assert len(fused) == 1
+        assert fused[0][0] == (0,)
+        assert np.allclose(fused[0][1], b @ a)  # later op composes on the left
+
+    def test_pending_1q_absorbed_into_2q_op(self):
+        x = unitary_ptm(pauli_matrix("X"))
+        cx = unitary_ptm(np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        ))
+        fused = fuse_ptm_ops([((0,), x), ((0, 1), cx)])
+        assert len(fused) == 1
+        assert fused[0][0] == (0, 1)
+        # First qubit is the most significant kron factor.
+        assert np.allclose(fused[0][1], cx @ np.kron(x, np.eye(4)))
+
+    def test_same_tuple_multi_qubit_ops_fuse(self):
+        cx = unitary_ptm(np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        ))
+        fused = fuse_ptm_ops([((0, 1), cx), ((0, 1), cx)])
+        assert len(fused) == 1
+        assert np.allclose(fused[0][1], cx @ cx)
+
+    def test_trailing_1q_ops_flush(self):
+        x = unitary_ptm(pauli_matrix("X"))
+        fused = fuse_ptm_ops([((3,), x)])
+        assert fused == [((3,), x)] or (
+            fused[0][0] == (3,) and np.allclose(fused[0][1], x)
+        )
+
+    def test_fusion_never_changes_results(self):
+        calibration = johannesburg_aug19_2020()
+        circuit = toffoli_workload()
+        with_fusion = PauliTransferMatrixSimulator(
+            calibration, fuse=True
+        ).run_probabilities(circuit)
+        without = PauliTransferMatrixSimulator(
+            calibration, fuse=False
+        ).run_probabilities(circuit)
+        assert set(with_fusion) == set(without)
+        for key in without:
+            assert abs(with_fusion[key] - without[key]) < 1e-12
+
+    def test_fusion_reduces_contraction_count(self):
+        simulator = PauliTransferMatrixSimulator(johannesburg_aug19_2020())
+        ops = simulator.circuit_ops(toffoli_workload())
+        assert len(fuse_ptm_ops(ops)) < len(ops) / 2
+
+
+class TestEngineExactness:
+    def test_noiseless_matches_statevector(self):
+        for build in (toffoli_workload, self._ghz):
+            circuit = build()
+            expected = StatevectorSimulator().run_probabilities(circuit)
+            actual = PauliTransferMatrixSimulator().run_probabilities(circuit)
+            assert set(actual) == set(expected)
+            for key, probability in expected.items():
+                assert abs(actual[key] - probability) < 1e-9
+
+    @staticmethod
+    def _ghz():
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2)
+        return circuit
+
+    @pytest.mark.parametrize("decoherence", ["global", "damping"])
+    def test_matches_density_backend(self, decoherence):
+        calibration = johannesburg_aug19_2020()
+        circuit = toffoli_workload()
+        density = DensityMatrixSimulator(
+            calibration, decoherence=decoherence
+        ).run_probabilities(circuit)
+        ptm = PauliTransferMatrixSimulator(
+            calibration, decoherence=decoherence
+        ).run_probabilities(circuit)
+        keys = set(density) | set(ptm)
+        assert max(abs(density.get(k, 0.0) - ptm.get(k, 0.0)) for k in keys) < 1e-9
+
+    def test_matches_density_on_compiled_fig6_cells(self):
+        # The acceptance bar: 1e-9 agreement (and hence ~0 TVD) with the
+        # density backend on every compiled Figure 6-8 configuration of the
+        # small triplets.
+        calibration = johannesburg_aug19_2020()
+        coupling_map = johannesburg()
+        density_sim = DensityMatrixSimulator(calibration)
+        ptm_sim = PauliTransferMatrixSimulator(calibration)
+        checked = 0
+        for triplet in SMALL_TRIPLETS:
+            placement = {0: triplet[0], 1: triplet[1], 2: triplet[2]}
+            for configuration in CONFIGURATIONS:
+                compiled = compile_configuration(
+                    configuration, coupling_map, placement, seed=7
+                )
+                circuit = compiled.circuit.without(["measure"])
+                measured = compiled.physical_qubits_of([0, 1, 2])
+                density = density_sim.run_probabilities(
+                    circuit, measured_qubits=measured
+                )
+                ptm = ptm_sim.run_probabilities(circuit, measured_qubits=measured)
+                keys = set(density) | set(ptm)
+                worst = max(
+                    abs(density.get(k, 0.0) - ptm.get(k, 0.0)) for k in keys
+                )
+                assert worst < 1e-9, (triplet, configuration.label, worst)
+                tvd = 0.5 * sum(
+                    abs(density.get(k, 0.0) - ptm.get(k, 0.0)) for k in keys
+                )
+                assert tvd < 1e-9
+                checked += 1
+        assert checked == len(SMALL_TRIPLETS) * len(CONFIGURATIONS)
+
+    def test_success_probability_and_counts(self):
+        calibration = johannesburg_aug19_2020()
+        circuit = toffoli_workload()
+        simulator = PauliTransferMatrixSimulator(calibration, seed=11)
+        p = simulator.success_probability(circuit, "1111")
+        assert 0.0 < p < 1.0
+        result = simulator.run_counts(circuit, shots=4096, seed=11)
+        assert sum(result.counts.values()) == 4096
+        sigma = math.sqrt(p * (1 - p) / 4096)
+        assert abs(result.success_rate("1111") - p) <= 5 * sigma
+
+    def test_run_counts_reproducible_with_seed(self):
+        calibration = johannesburg_aug19_2020()
+        circuit = toffoli_workload()
+        simulator = PauliTransferMatrixSimulator(calibration)
+        first = simulator.run_counts(circuit, shots=512, seed=23)
+        second = simulator.run_counts(circuit, shots=512, seed=23)
+        assert first.counts == second.counts
+
+    def test_noise_toggles_match_density(self):
+        calibration = johannesburg_aug19_2020()
+        circuit = toffoli_workload()
+        for toggles in (
+            dict(include_gate_errors=False),
+            dict(include_decoherence=False),
+            dict(include_readout_error=False),
+        ):
+            density = DensityMatrixSimulator(
+                calibration, **toggles
+            ).run_probabilities(circuit)
+            ptm = PauliTransferMatrixSimulator(
+                calibration, **toggles
+            ).run_probabilities(circuit)
+            keys = set(density) | set(ptm)
+            assert max(
+                abs(density.get(k, 0.0) - ptm.get(k, 0.0)) for k in keys
+            ) < 1e-9
+
+
+class TestKnobsAndPlumbing:
+    def test_registered_in_registry(self):
+        calibration = johannesburg_aug19_2020()
+        backend = get_backend("ptm", calibration, seed=5)
+        assert isinstance(backend, PauliTransferMatrixSimulator)
+        assert supports_exact_probabilities(backend)
+
+    def test_requires_calibration(self):
+        with pytest.raises(SimulationError, match="calibration"):
+            get_backend("ptm")
+
+    def test_truncation_zero_is_exact_and_small_atol_is_close(self):
+        calibration = johannesburg_aug19_2020()
+        circuit = toffoli_workload()
+        exact = PauliTransferMatrixSimulator(calibration).run_probabilities(circuit)
+        truncated = PauliTransferMatrixSimulator(
+            calibration, truncate_atol=1e-12
+        ).run_probabilities(circuit)
+        keys = set(exact) | set(truncated)
+        assert max(abs(exact.get(k, 0.0) - truncated.get(k, 0.0)) for k in keys) < 1e-9
+
+    def test_aggressive_truncation_drops_components(self):
+        simulator = PauliTransferMatrixSimulator(truncate_atol=0.5)
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        state = simulator.evolve(circuit)
+        # |+> has coefficients (1/sqrt2, 1/sqrt2, 0, 0); atol=0.5 keeps them,
+        # but the truncation hook must have run without error.
+        assert np.count_nonzero(state) <= 2
+
+    def test_rejects_negative_truncate_atol(self):
+        with pytest.raises(SimulationError, match="truncate_atol"):
+            PauliTransferMatrixSimulator(truncate_atol=-1e-3)
+
+    def test_rejects_unknown_decoherence_mode(self):
+        with pytest.raises(SimulationError, match="decoherence"):
+            PauliTransferMatrixSimulator(decoherence="per-gate")
+
+    def test_rejects_oversized_circuits(self):
+        simulator = PauliTransferMatrixSimulator(max_active_qubits=3)
+        with pytest.raises(SimulationError, match="exceeds"):
+            simulator.run_probabilities(toffoli_workload())
+
+    def test_simulator_pickles(self):
+        simulator = PauliTransferMatrixSimulator(
+            johannesburg_aug19_2020(), seed=3, truncate_atol=1e-14
+        )
+        clone = pickle.loads(pickle.dumps(simulator))
+        circuit = toffoli_workload()
+        original = simulator.run_probabilities(circuit)
+        restored = clone.run_probabilities(circuit)
+        assert set(original) == set(restored)
+        for key in original:
+            assert abs(original[key] - restored[key]) < 1e-12
+
+    def test_empty_measurement_set(self):
+        simulator = PauliTransferMatrixSimulator(johannesburg_aug19_2020())
+        assert simulator.run_probabilities(toffoli_workload(), measured_qubits=[]) == {
+            "": 1.0
+        }

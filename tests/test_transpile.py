@@ -373,6 +373,58 @@ class TestOptimizationLevel3:
         assert serial.circuit == parallel.circuit
         assert serial.seed_search["chosen_seed"] == parallel.seed_search["chosen_seed"]
 
+    def test_prefix_reuse_is_byte_identical_to_full_per_seed_pipeline(
+        self, johannesburg_map
+    ):
+        # The search runs the seed-independent prefix (decomposition +
+        # pre-placement clean-up) once and resumes each candidate from the
+        # decomposed circuit.  Every candidate must be byte-identical to
+        # what the full monolithic pipeline produces for the same seed —
+        # the optimisation is a pure cost cut, never a result change.
+        from repro.compiler.pipeline import (
+            _TranspileContext,
+            _build_partial_manager,
+            _candidate_seeds,
+            _seed_candidate,
+            _split_stage_names,
+        )
+        from repro.hardware.target import Target
+
+        program = self._program()
+        target = Target(johannesburg_map)
+        for method in ("baseline", "trios"):
+            ctx = _TranspileContext(
+                target=target, layout="greedy", optimization_level=3, seed=5,
+                routing="stochastic", toffoli_mode="6cnot",
+                second_decomposition="mapping_aware", overlap_optimization=True,
+                edge_weights=None, validate_mode="full",
+            )
+            prefix_names, suffix_names = _split_stage_names(method)
+            assert prefix_names, "every registered pipeline has a layout stage"
+            assert suffix_names[0] == "layout"
+            pre_circuit, pre_properties = _build_partial_manager(
+                prefix_names, ctx
+            ).run(program)
+            for candidate_seed in _candidate_seeds(5, 3):
+                reference = _seed_candidate(
+                    (ctx, method, program, None, candidate_seed)
+                )
+                reused = _seed_candidate(
+                    (ctx, method, pre_circuit, pre_properties, candidate_seed)
+                )
+                assert canonical_bytes(reused[0]) == canonical_bytes(reference[0])
+                # cnots, depth, estimated success — the admissibility inputs.
+                assert reused[2:] == reference[2:]
+
+    def test_seed_search_telemetry_records_prefix_stages(self, johannesburg_map):
+        result = transpile(
+            self._program(), johannesburg_map, method="trios", seed=5,
+            optimization_level=3, seed_trials=2,
+        )
+        assert result.seed_search["prefix_stages"] == [
+            "unroll_keep_toffoli", "pre_optimize",
+        ]
+
     def test_seedless_search_degenerates_to_one_candidate(self, johannesburg_map):
         result = transpile(
             self._program(), johannesburg_map, method="trios", seed=None,
