@@ -22,7 +22,6 @@ or standalone (prints the comparison, asserts the >=5x speedup and writes the
     PYTHONPATH=src python benchmarks/bench_compiler_speed.py
 """
 
-import json
 import math
 import sys
 import time
@@ -32,6 +31,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from _common import emit_bench_json
 from _legacy_routing import legacy_routers
 
 from repro.bench_circuits import get_benchmark
@@ -177,8 +177,7 @@ def test_routing_fastpath_speedup():
         "speedup_bar": SPEEDUP_BAR,
         "pipeline_compiles_per_second": pipeline_rates(),
     }
-    out = Path.cwd() / "BENCH_compiler.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = emit_bench_json(Path.cwd() / "BENCH_compiler.json", "compiler_speed", payload)
     print(f"  wrote {out}")
     assert geomean >= SPEEDUP_BAR, (
         f"routing fast path regressed: {geomean:.1f}x < {SPEEDUP_BAR}x"

@@ -23,8 +23,13 @@ or standalone (prints the table, writes BENCH_density.json)::
 
 import json
 import math
+import sys
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_bench_json
 
 from repro.circuits import QuantumCircuit
 from repro.experiments.benchmarks import compile_benchmark_cached
@@ -136,7 +141,7 @@ def run_benchmark():
         "rows": rows,
         "geomean_speedup_at_equal_precision": geomean,
     }
-    OUTPUT.write_text(json.dumps(payload, indent=2))
+    emit_bench_json(OUTPUT, "density", payload)
     return payload
 
 

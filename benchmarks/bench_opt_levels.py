@@ -23,11 +23,14 @@ Run standalone (prints the per-cell table, asserts the contract, writes the
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_bench_json
 
 from repro.bench_circuits.suite import PAPER_BENCHMARKS, get_benchmark
 from repro.compiler.pipeline import transpile
@@ -162,8 +165,7 @@ def main(argv=None) -> int:
         "verified_cells": len(verified),
         "skipped_verification_cells": len(skipped),
     }
-    out = Path.cwd() / "BENCH_opt.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = emit_bench_json(Path.cwd() / "BENCH_opt.json", "opt_levels", payload)
     print(f"\n  wrote {out}")
 
     assert not regressions, (

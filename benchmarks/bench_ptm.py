@@ -25,8 +25,13 @@ or standalone (prints the table, writes BENCH_ptm.json)::
 
 import json
 import math
+import sys
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_bench_json
 
 from repro.circuits import QuantumCircuit
 from repro.experiments.benchmarks import compile_benchmark_cached
@@ -145,7 +150,7 @@ def run_benchmark():
         ),
         "geomean_fusion_gain": geomean([r["fusion_gain"] for r in rows]),
     }
-    OUTPUT.write_text(json.dumps(payload, indent=2))
+    emit_bench_json(OUTPUT, "ptm", payload)
     return payload
 
 

@@ -22,10 +22,14 @@ or standalone (prints the comparison, asserts both bars and writes the
     PYTHONPATH=src python benchmarks/bench_runtime.py
 """
 
-import json
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_bench_json
 
 import numpy as np
 
@@ -148,8 +152,7 @@ def test_runtime_overhead_and_crash_survival():
             ],
         },
     }
-    out = Path.cwd() / "BENCH_runtime.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = emit_bench_json(Path.cwd() / "BENCH_runtime.json", "runtime", payload)
     print(f"  wrote {out}")
 
     assert overhead < OVERHEAD_BAR, (

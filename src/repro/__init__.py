@@ -16,7 +16,11 @@ The package implements, from scratch, the full toolchain the paper needs:
   and
 * the fault-tolerant execution runtime behind every parallel fan-out —
   per-cell timeouts, seeded-backoff retries, crash recovery and a
-  deterministic fault-injection harness (:mod:`repro.runtime`).
+  deterministic fault-injection harness (:mod:`repro.runtime`), and
+* the unified observability layer — hierarchical spans over every compiler
+  pass, runtime cell attempt and simulator call, a metrics registry, and
+  Chrome trace-event export; a zero-overhead no-op until enabled
+  (:mod:`repro.obs`).
 
 Quickstart::
 

@@ -29,6 +29,7 @@ import copy
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from .. import obs
 from ..analysis.contracts import resolve_validation_mode
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import TranspilerError
@@ -516,14 +517,25 @@ def transpile(
         method_label = f"{method}-{second_decomposition}"
     else:
         method_label = method
-    if optimization_level >= 3:
-        compiled, properties = _run_seed_search(circuit, method, ctx, seed_trials, jobs)
-    else:
-        manager = build_pass_manager(method, ctx)
-        compiled, properties = manager.run(circuit)
-    return _finish(
-        compiled, properties, resolved, method_label, circuit.name, validate
-    )
+    obs.maybe_enable_from_env()
+    with obs.span(
+        "transpile",
+        category="compiler",
+        source=circuit.name,
+        method=method_label,
+        optimization_level=optimization_level,
+        qubits=circuit.num_qubits,
+    ):
+        if optimization_level >= 3:
+            compiled, properties = _run_seed_search(
+                circuit, method, ctx, seed_trials, jobs
+            )
+        else:
+            manager = build_pass_manager(method, ctx)
+            compiled, properties = manager.run(circuit)
+        return _finish(
+            compiled, properties, resolved, method_label, circuit.name, validate
+        )
 
 
 # ----------------------------------------------------------------------
@@ -562,10 +574,14 @@ def _seed_candidate(
         _, suffix_names = _split_stage_names(method)
         manager = _build_partial_manager(suffix_names, ctx)
         properties = copy.deepcopy(prefix_properties)
-    compiled, properties = manager.run(circuit, properties)
-    cnots = compiled.two_qubit_gate_count(count_swap_as=3)
-    depth = compiled.depth()
-    success = base_ctx.target.estimated_success(compiled)
+    with obs.span(
+        "seed_candidate", category="compiler.seed_search", seed=candidate_seed
+    ) as candidate_span:
+        compiled, properties = manager.run(circuit, properties)
+        cnots = compiled.two_qubit_gate_count(count_swap_as=3)
+        depth = compiled.depth()
+        success = base_ctx.target.estimated_success(compiled)
+        candidate_span.add_attrs(cnots=cnots, depth=depth, estimated_success=success)
     return compiled, properties, cnots, depth, success
 
 
@@ -606,20 +622,23 @@ def _run_seed_search(
     seeds = _candidate_seeds(ctx.seed, trials)
     prefix_names, _ = _split_stage_names(method)
     prefix_properties: Optional[PropertySet] = None
-    if prefix_names:
-        circuit, prefix_properties = _build_partial_manager(prefix_names, ctx).run(
-            circuit
+    with obs.span(
+        "seed_search", category="compiler.seed_search", trials=len(seeds), jobs=jobs
+    ):
+        if prefix_names:
+            circuit, prefix_properties = _build_partial_manager(
+                prefix_names, ctx
+            ).run(circuit)
+        payloads = [
+            (ctx, method, circuit, prefix_properties, candidate_seed)
+            for candidate_seed in seeds
+        ]
+        runner = CellRunner(
+            jobs=jobs,
+            policy=FailurePolicy(retries=1, on_error="skip"),
+            label="level-3 seed search",
         )
-    payloads = [
-        (ctx, method, circuit, prefix_properties, candidate_seed)
-        for candidate_seed in seeds
-    ]
-    runner = CellRunner(
-        jobs=jobs,
-        policy=FailurePolicy(retries=1, on_error="skip"),
-        label="level-3 seed search",
-    )
-    records = runner.run(payloads, _seed_candidate)
+        records = runner.run(payloads, _seed_candidate)
     candidates: List[Optional[tuple]] = [
         record.value if record.ok else None for record in records
     ]

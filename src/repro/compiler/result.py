@@ -15,13 +15,14 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis import LintReport
+    from ..obs import Span
 
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import TranspilerError
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.target import Target
 from ..hardware.topology import CouplingMap
-from ..passes.base import PropertySet
+from ..passes.base import PropertySet, pass_timings_view
 from ..passes.layout import Layout
 from ..passes.scheduling import asap_schedule
 from ..sim.estimator import SuccessEstimate, estimate_success
@@ -83,15 +84,26 @@ class CompilationResult:
         return self.properties.get("optimization3_search")
 
     @property
-    def pass_timings(self) -> List[Dict[str, object]]:
-        """Per-pass telemetry recorded by the pass manager.
+    def pass_spans(self) -> List["Span"]:
+        """Per-pass telemetry spans recorded by the pass manager.
 
-        One record per executed pass (fixed-point loops contribute one record
-        per pass per sweep): ``{"pass", "stage", "seconds", "size_before",
-        "size_after"}``.  This is the data behind the CLI's
+        One :class:`repro.obs.Span` per executed pass (fixed-point loops
+        contribute one span per pass per sweep), carrying the pass name, the
+        stage and instruction-count deltas as attrs, and wall-aligned
+        start/duration.  This is the single source of pass telemetry; the
+        legacy :attr:`pass_timings` dict view derives from it.
+        """
+        return list(self.properties.get("pass_spans", []))
+
+    @property
+    def pass_timings(self) -> List[Dict[str, object]]:
+        """Legacy per-pass telemetry dicts, derived from :attr:`pass_spans`.
+
+        One record per executed pass: ``{"pass", "stage", "seconds",
+        "size_before", "size_after"}``.  This is the data behind the CLI's
         ``--profile-passes`` table.
         """
-        return list(self.properties.get("pass_timings", []))
+        return pass_timings_view(self.pass_spans)
 
     # ------------------------------------------------------------------
     # Time / noise metrics

@@ -21,6 +21,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bench_circuits.suite import (
     PAPER_BENCHMARKS,
     TOFFOLI_BENCHMARKS,
@@ -33,6 +34,7 @@ from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, near_term_calibration
 from ..hardware.library import PAPER_TOPOLOGIES
 from ..hardware.topology import CouplingMap
+from ..passes.base import pass_timings_view
 from ..runtime import (
     CellFailure,
     CellRunner,
@@ -62,10 +64,10 @@ class BenchmarkComparison:
     trios_success: float
     baseline_depth: int
     trios_depth: int
-    #: Per-pass telemetry of the two compilations (``--profile-passes`` data);
-    #: ``None`` for rows built before the DAG-IR refactor.
-    baseline_pass_timings: Optional[List[Dict[str, object]]] = None
-    trios_pass_timings: Optional[List[Dict[str, object]]] = None
+    #: Per-pass telemetry spans of the two compilations (``--profile-passes``
+    #: data); ``None`` for rows built before the observability layer.
+    baseline_pass_spans: Optional[List[obs.Span]] = None
+    trios_pass_spans: Optional[List[obs.Span]] = None
 
     @property
     def cnot_reduction(self) -> float:
@@ -121,15 +123,19 @@ class BenchmarkExperimentResult:
         table = self.comparisons[topology]
         return [table[name] for name in table if name in TOFFOLI_BENCHMARKS]
 
-    def all_pass_timings(self) -> List[Dict[str, object]]:
-        """Every pass-telemetry record across the sweep (both pipelines)."""
-        records: List[Dict[str, object]] = []
+    def all_pass_spans(self) -> List[obs.Span]:
+        """Every pass-telemetry span across the sweep (both pipelines)."""
+        spans: List[obs.Span] = []
         for table in self.comparisons.values():
             for row in table.values():
-                for timings in (row.baseline_pass_timings, row.trios_pass_timings):
-                    if timings:
-                        records.extend(timings)
-        return records
+                for recorded in (row.baseline_pass_spans, row.trios_pass_spans):
+                    if recorded:
+                        spans.extend(recorded)
+        return spans
+
+    def all_pass_timings(self) -> List[Dict[str, object]]:
+        """Every pass-telemetry record across the sweep, as legacy dicts."""
+        return pass_timings_view(self.all_pass_spans())
 
 
 # ----------------------------------------------------------------------
@@ -305,8 +311,8 @@ def compare_benchmark(
         trios_success=trios_success,
         baseline_depth=baseline.depth,
         trios_depth=trios.depth,
-        baseline_pass_timings=baseline.pass_timings,
-        trios_pass_timings=trios.pass_timings,
+        baseline_pass_spans=baseline.pass_spans,
+        trios_pass_spans=trios.pass_spans,
     )
 
 
@@ -385,6 +391,34 @@ def run_benchmark_experiment(
     benchmarks = list(benchmarks or PAPER_BENCHMARKS)
     if exact:
         require_exact_capable_backend(backend)
+    obs.maybe_enable_from_env()
+    with obs.span(
+        "benchmark_experiment",
+        category="experiment",
+        backend=backend,
+        benchmarks=len(benchmarks),
+        jobs=jobs,
+    ):
+        return _run_benchmark_experiment(
+            topologies, calibration, benchmarks, seed, backend, shots, jobs,
+            exact, timeout, retries, on_error, faults,
+        )
+
+
+def _run_benchmark_experiment(
+    topologies: Mapping[str, Callable[[], CouplingMap]],
+    calibration: DeviceCalibration,
+    benchmarks: List[str],
+    seed: int,
+    backend: str,
+    shots: int,
+    jobs: int,
+    exact: bool,
+    timeout: Optional[float],
+    retries: int,
+    on_error: str,
+    faults: Optional[FaultPlan],
+) -> BenchmarkExperimentResult:
     result = BenchmarkExperimentResult(calibration_name=calibration.name)
     # Build each topology and each logical circuit exactly once per sweep.
     built = {label: builder() for label, builder in topologies.items()}

@@ -24,6 +24,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..bench_circuits import all_benchmark_statistics
 from ..bench_circuits.suite import get_benchmark
 from ..compiler.pipeline import PIPELINES, transpile
@@ -41,8 +42,10 @@ from .report import (
     format_benchmark_reduction,
     format_benchmark_success,
     format_failure_summary,
+    format_metrics_summary,
     format_pass_profile,
     format_sensitivity,
+    format_trace_summary,
     format_table1,
     format_toffoli_gate_counts,
     format_toffoli_normalized,
@@ -85,6 +88,35 @@ def _add_fault_tolerance_flags(parser: argparse.ArgumentParser,
                              "breaking")
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """The tracing knob, shared by every subcommand."""
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        dest="trace",
+                        help="record hierarchical spans (compiler passes, "
+                             "runtime cell attempts, simulator runs — "
+                             "including worker processes) and write them as "
+                             "Chrome trace-event JSON to this path on exit; "
+                             "REPRO_TRACE=<path> is the environment "
+                             "equivalent, REPRO_TRACE=1 prints the terminal "
+                             "summary without writing a file")
+
+
+def _finish_trace(trace_path: Optional[str]) -> None:
+    """Print the span/metrics summaries and export the Chrome trace, if on."""
+    if not obs.is_enabled():
+        return
+    spans = obs.trace_spans()
+    print("\n[trace] span summary\n")
+    print(format_trace_summary(spans))
+    metrics = obs.metrics_summary()
+    if metrics:
+        print("\n[trace] metrics\n")
+        print(format_metrics_summary(metrics))
+    if trace_path:
+        count = obs.export_chrome_trace(trace_path)
+        print(f"\n[trace] wrote {count} span(s) to {trace_path}")
+
+
 def _print_failures(failures) -> None:
     if failures:
         print(f"\n[failures] {len(failures)} cell(s) did not complete "
@@ -101,7 +133,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="list the registered simulation backends and exit")
     subparsers = parser.add_subparsers(dest="command")
 
-    subparsers.add_parser("table1", help="Table 1: benchmark inventory")
+    table1 = subparsers.add_parser("table1", help="Table 1: benchmark inventory")
+    _add_observability_flags(table1)
 
     exact_help = ("record analytic success probabilities (zero shot variance) "
                   "instead of sampled frequencies; implies the density-matrix "
@@ -126,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     toffoli.add_argument("--profile-passes", action="store_true",
                          help="print the per-pass time / gate-delta table")
     _add_fault_tolerance_flags(toffoli, "triplet")
+    _add_observability_flags(toffoli)
 
     benchmarks = subparsers.add_parser(
         "benchmarks", help="Figures 9-11: benchmark suite on the four topologies"
@@ -148,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     benchmarks.add_argument("--profile-passes", action="store_true",
                             help="print the per-pass time / gate-delta table")
     _add_fault_tolerance_flags(benchmarks, "sweep cell")
+    _add_observability_flags(benchmarks)
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="Figure 12: sensitivity to device error rates"
@@ -169,6 +204,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--profile-passes", action="store_true",
                              help="print the per-pass time / gate-delta table")
     _add_fault_tolerance_flags(sensitivity, "benchmark curve")
+    _add_observability_flags(sensitivity)
 
     compile_cmd = subparsers.add_parser(
         "compile",
@@ -198,6 +234,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="worker processes for the level-3 seed "
                                   "search (only with --opt-level 3; "
                                   "0 = all CPUs)")
+    _add_observability_flags(compile_cmd)
 
     lint = subparsers.add_parser(
         "lint",
@@ -230,8 +267,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="compile and lint every Fig 9/10 sweep cell "
                            "(all benchmarks x topologies x both pipelines); "
                            "the CI lint gate")
+    _add_observability_flags(lint)
 
-    subparsers.add_parser("all", help="Run everything (may take a minute)")
+    run_all = subparsers.add_parser("all", help="Run everything (may take a minute)")
+    _add_observability_flags(run_all)
     return parser
 
 
@@ -447,6 +486,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command is None:
         parser.error("a subcommand is required (or --list-backends)")
+    # --trace (or REPRO_TRACE) switches on the observability layer before any
+    # compilation or sweep runs, so every span of the command lands in one
+    # trace; the export and terminal summary happen in _finish_trace.
+    trace_path = getattr(args, "trace", None) or obs.trace_path_from_env()
+    if trace_path or obs.env_requests_tracing():
+        obs.enable()
+    code = _dispatch(args)
+    _finish_trace(trace_path)
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected subcommand; returns its exit code."""
     if args.command == "table1":
         _run_table1()
     elif args.command == "toffoli":

@@ -7,9 +7,11 @@ example scripts use these to show the regenerated rows/series.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..bench_circuits.suite import PAPER_TABLE1, BenchmarkStats
+from ..obs import Span
+from ..passes.base import legacy_pass_timing
 from ..runtime import CellFailure
 from .benchmarks import BenchmarkExperimentResult
 from .sensitivity import SensitivityResult
@@ -173,17 +175,23 @@ def format_failure_summary(failures: Sequence[CellFailure]) -> str:
     return _format_table(headers, rows)
 
 
-def format_pass_profile(timings: Iterable[Dict[str, object]]) -> str:
+def format_pass_profile(
+    timings: Iterable[Union[Dict[str, object], Span]],
+) -> str:
     """Aggregate per-pass telemetry into a time / gate-delta table.
 
-    ``timings`` is any iterable of the ``{"pass", "stage", "seconds",
-    "size_before", "size_after"}`` records that the pass manager stores in
-    ``CompilationResult.pass_timings``; records of the same pass (across
-    compilations and fixed-point sweeps) are summed.
+    ``timings`` is any iterable of compiler-pass telemetry — either the
+    :class:`~repro.obs.Span` records the pass manager stores in
+    ``CompilationResult.pass_spans``, or the legacy ``{"pass", "stage",
+    "seconds", "size_before", "size_after"}`` dicts derived from them
+    (``pass_timings``); records of the same pass (across compilations and
+    fixed-point sweeps) are summed.
     """
     totals: Dict[str, Dict[str, float]] = {}
     order: List[str] = []
     for record in timings:
+        if isinstance(record, Span):
+            record = legacy_pass_timing(record)
         key = f"{record.get('stage') or '-'}/{record['pass']}"
         if key not in totals:
             totals[key] = {"calls": 0, "seconds": 0.0, "delta": 0}
@@ -208,4 +216,66 @@ def format_pass_profile(timings: Iterable[Dict[str, object]]) -> str:
             )
         )
     headers = ("pass", "stage", "calls", "total ms", "gate delta")
+    return _format_table(headers, rows)
+
+
+def format_trace_summary(spans: Sequence[Span], top: Optional[int] = None) -> str:
+    """Aggregate a span list into a per-(category, name) duration table.
+
+    One row per distinct ``(category, name)`` pair with call count, total,
+    mean and max duration in milliseconds, sorted by total descending; the
+    terminal-friendly counterpart of the Chrome trace export.  ``top`` caps
+    the number of rows (all by default).
+    """
+    if not spans:
+        return "(no spans recorded)"
+    totals: Dict[tuple, Dict[str, float]] = {}
+    pids = set()
+    for span in spans:
+        pids.add(span.pid)
+        entry = totals.setdefault(
+            (span.category or "-", span.name),
+            {"calls": 0, "total": 0.0, "max": 0.0},
+        )
+        entry["calls"] += 1
+        entry["total"] += span.duration
+        entry["max"] = max(entry["max"], span.duration)
+    ranked = sorted(totals.items(), key=lambda item: -item[1]["total"])
+    if top is not None:
+        ranked = ranked[:top]
+    rows = []
+    for (category, name), entry in ranked:
+        calls = int(entry["calls"])
+        rows.append(
+            (
+                name,
+                category,
+                calls,
+                f"{entry['total'] * 1e3:.1f}",
+                f"{entry['total'] * 1e3 / calls:.2f}",
+                f"{entry['max'] * 1e3:.2f}",
+            )
+        )
+    headers = ("span", "category", "calls", "total ms", "mean ms", "max ms")
+    table = _format_table(headers, rows)
+    footer = f"\n({len(spans)} spans from {len(pids)} process(es))"
+    return table + footer
+
+
+def format_metrics_summary(summary: Mapping[str, Mapping[str, float]]) -> str:
+    """Render :func:`repro.obs.metrics_summary` as a flat metric/stat table.
+
+    Counters and gauges get one row; histograms get one row per statistic
+    (count, sum, min, max, p50/p90/p99).
+    """
+    if not summary:
+        return "(no metrics recorded)"
+    rows = []
+    for name in sorted(summary):
+        stats = summary[name]
+        for stat in stats:
+            value = stats[stat]
+            rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+            rows.append((name, stat, rendered))
+    headers = ("metric", "stat", "value")
     return _format_table(headers, rows)

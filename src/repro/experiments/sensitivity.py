@@ -16,11 +16,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..bench_circuits.suite import TOFFOLI_BENCHMARKS, get_benchmark
 from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
 from ..hardware.library import johannesburg
 from ..hardware.topology import CouplingMap
+from ..passes.base import pass_timings_view
 from ..runtime import (
     CellFailure,
     CellRunner,
@@ -44,7 +46,7 @@ class SensitivityCurve:
     benchmark: str
     factors: List[float]
     ratios: List[float]
-    pass_timings: List[dict] = field(default_factory=list)
+    pass_spans: List[obs.Span] = field(default_factory=list)
 
     def ratio_at(self, factor: float) -> float:
         """Ratio at the factor closest to ``factor``."""
@@ -66,12 +68,16 @@ class SensitivityResult:
     def benchmarks(self) -> List[str]:
         return list(self.curves)
 
-    def all_pass_timings(self) -> List[dict]:
-        """Every pass-telemetry record across the compiled benchmark pairs."""
-        records: List[dict] = []
+    def all_pass_spans(self) -> List[obs.Span]:
+        """Every pass-telemetry span across the compiled benchmark pairs."""
+        spans: List[obs.Span] = []
         for curve in self.curves.values():
-            records.extend(curve.pass_timings)
-        return records
+            spans.extend(curve.pass_spans)
+        return spans
+
+    def all_pass_timings(self) -> List[dict]:
+        """Every pass-telemetry record, as legacy ``pass_timings`` dicts."""
+        return pass_timings_view(self.all_pass_spans())
 
 
 def default_factors(num_points: int = 9, maximum: float = 100.0) -> List[float]:
@@ -134,7 +140,7 @@ def _sensitivity_cell(
         return None
     return SensitivityCurve(
         benchmark=benchmark, factors=list(factors), ratios=ratios,
-        pass_timings=baseline.pass_timings + trios.pass_timings,
+        pass_spans=baseline.pass_spans + trios.pass_spans,
     )
 
 
@@ -204,7 +210,15 @@ def run_sensitivity_experiment(
         faults=faults if faults is not None else "env",
         label="sensitivity study",
     )
-    records = runner.run(payloads, _sensitivity_cell)
+    obs.maybe_enable_from_env()
+    with obs.span(
+        "sensitivity_experiment",
+        category="experiment",
+        backend=backend,
+        curves=len(payloads),
+        jobs=jobs,
+    ):
+        records = runner.run(payloads, _sensitivity_cell)
     result.failures = failure_records(records, fitting)
     for name, record in zip(fitting, records):
         if record.ok and record.value is not None:

@@ -22,6 +22,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..circuits.circuit import QuantumCircuit
 from ..compiler.pipeline import compile_baseline, compile_trios
 from ..compiler.result import CompilationResult
@@ -29,6 +30,7 @@ from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
 from ..hardware.topology import CouplingMap
 from ..hardware.library import johannesburg
+from ..passes.base import pass_timings_view
 from ..runtime import (
     CellFailure,
     CellRunner,
@@ -92,7 +94,7 @@ class TripletResult:
     total_distance: int
     cnot_counts: Dict[str, int] = field(default_factory=dict)
     success_rates: Dict[str, float] = field(default_factory=dict)
-    pass_timings: Dict[str, List[dict]] = field(default_factory=dict)
+    pass_spans: Dict[str, List[obs.Span]] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -141,13 +143,17 @@ class ToffoliExperimentResult:
         trios = self.geomean_cnots("Trios (8-CNOT Toffoli)")
         return 1.0 - trios / baseline
 
-    def all_pass_timings(self) -> List[dict]:
-        """Every pass-telemetry record across triplets and configurations."""
-        records: List[dict] = []
+    def all_pass_spans(self) -> List[obs.Span]:
+        """Every pass-telemetry span across triplets and configurations."""
+        spans: List[obs.Span] = []
         for row in self.rows:
-            for timings in row.pass_timings.values():
-                records.extend(timings)
-        return records
+            for recorded in row.pass_spans.values():
+                spans.extend(recorded)
+        return spans
+
+    def all_pass_timings(self) -> List[dict]:
+        """Every pass-telemetry record, as legacy ``pass_timings`` dicts."""
+        return pass_timings_view(self.all_pass_spans())
 
 
 def random_triplets(
@@ -175,7 +181,7 @@ def _toffoli_cell(payload) -> Optional[TripletResult]:
                 configuration, coupling_map, placement, seed=seed + index
             )
             row.cnot_counts[configuration] = compiled.two_qubit_gate_count
-            row.pass_timings[configuration] = compiled.pass_timings
+            row.pass_spans[configuration] = compiled.pass_spans
             measured = compiled.physical_qubits_of([0, 1, 2])
             engine = get_backend(sampler, calibration, seed=seed + index)
             circuit = compiled.circuit.without(["measure"])
@@ -282,7 +288,15 @@ def run_toffoli_experiment(
         faults=faults if faults is not None else "env",
         label="toffoli experiment",
     )
-    records = runner.run(payloads, _toffoli_cell)
+    obs.maybe_enable_from_env()
+    with obs.span(
+        "toffoli_experiment",
+        category="experiment",
+        sampler=sampler,
+        triplets=len(payloads),
+        jobs=jobs,
+    ):
+        records = runner.run(payloads, _toffoli_cell)
     labels = [f"triplet {payload[1]}" for payload in payloads]
     result.failures = failure_records(records, labels)
     for record in records:

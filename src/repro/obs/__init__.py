@@ -1,0 +1,234 @@
+"""Unified observability layer: hierarchical spans + a metrics registry.
+
+Module map:
+
+- ``tracer``  — :class:`Span` records, the :class:`Tracer`, context-manager
+  :func:`span`, worker-side :func:`capture_spans`, driver-side
+  :func:`adopt_spans`.
+- ``metrics`` — counters, gauges, p50/p90/p99 histograms, and the pickle-safe
+  :class:`MetricsDelta` for shipping worker increments to the driver.
+- ``export``  — Chrome trace-event JSON (:func:`export_chrome_trace`) and the
+  schema check CI's trace smoke step uses (:func:`validate_chrome_trace`).
+
+Everything is a zero-overhead no-op until :func:`enable` is called (or the
+``REPRO_TRACE`` environment variable is set — see
+:func:`maybe_enable_from_env`).  The typical entry points — ``transpile()``,
+the experiment drivers, and every CLI subcommand — all call
+:func:`maybe_enable_from_env`, so ``REPRO_TRACE=trace.json`` traces any
+existing workflow without code changes.
+
+Example::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("compile", category="demo", benchmark="grovers-9") as sp:
+        ...
+        sp.add_attrs(cnots=42)
+    obs.counter("demo.compiles").inc()
+    obs.export_chrome_trace("trace.json")   # load in chrome://tracing
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .export import chrome_trace_events, export_chrome_trace, validate_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsDelta,
+    MetricsRegistry,
+    counter,
+    disable_metrics,
+    enable_metrics,
+    gauge,
+    get_metrics,
+    histogram,
+    merge_metrics,
+    metrics_enabled,
+    metrics_summary,
+)
+from .tracer import (
+    Span,
+    SpanContext,
+    Tracer,
+    add_attrs,
+    adopt_spans,
+    capture_spans,
+    clear_trace,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    now,
+    record_span,
+    span,
+    trace_spans,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsDelta",
+    "MetricsRegistry",
+    "TRACE_ENV_VAR",
+    "WorkerTelemetry",
+    "add_attrs",
+    "adopt_spans",
+    "capture",
+    "capture_spans",
+    "chrome_trace_events",
+    "clear",
+    "clear_trace",
+    "counter",
+    "current_span_id",
+    "disable",
+    "enable",
+    "export_chrome_trace",
+    "gauge",
+    "get_metrics",
+    "get_tracer",
+    "histogram",
+    "is_enabled",
+    "maybe_enable_from_env",
+    "merge_metrics",
+    "metrics_summary",
+    "now",
+    "record_span",
+    "span",
+    "trace_path_from_env",
+    "trace_spans",
+    "validate_chrome_trace",
+]
+
+#: Environment variable that turns tracing on without code changes.  A path
+#: value ("trace.json") additionally tells the CLI/drivers where to export;
+#: bare flag values ("1", "true", "on", "yes") just enable collection.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_FLAG_ON = frozenset({"1", "true", "on", "yes"})
+_FLAG_OFF = frozenset({"", "0", "false", "off", "no"})
+
+
+def enable() -> None:
+    """Turn on span collection and the metrics registry for this process."""
+    enable_tracing()
+    enable_metrics()
+
+
+def disable() -> None:
+    """Drop all collected telemetry and revert to the no-op fast path."""
+    disable_tracing()
+    disable_metrics()
+
+
+def is_enabled() -> bool:
+    return tracing_enabled()
+
+
+def clear() -> None:
+    """Empty the span buffer and metrics registry but keep collection on."""
+    clear_trace()
+    registry = get_metrics()
+    if registry is not None:
+        disable_metrics()
+        enable_metrics()
+
+
+def env_requests_tracing() -> bool:
+    value = os.environ.get(TRACE_ENV_VAR, "").strip().lower()
+    return value not in _FLAG_OFF
+
+
+def trace_path_from_env() -> Optional[str]:
+    """The export path carried by ``REPRO_TRACE``, if it names one."""
+    value = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if value.lower() in _FLAG_ON or value.lower() in _FLAG_OFF:
+        return None
+    return value
+
+
+_ATEXIT_REGISTERED = False
+
+
+def _register_env_export(path: str) -> None:
+    """Export the trace at interpreter exit (library use, no CLI to do it)."""
+    global _ATEXIT_REGISTERED
+    if _ATEXIT_REGISTERED:
+        return
+    _ATEXIT_REGISTERED = True
+    pid = os.getpid()
+
+    def _export() -> None:
+        if os.getpid() != pid:
+            return  # a forked child inherited the handler; not its trace
+        spans = trace_spans()
+        if not spans:
+            return  # pool workers ship their spans to the driver instead
+        export_chrome_trace(path, spans)
+
+    atexit.register(_export)
+
+
+def maybe_enable_from_env() -> bool:
+    """Enable telemetry when ``REPRO_TRACE`` asks for it; report the state.
+
+    When the variable names an export path and this call is what turned
+    tracing on (i.e. no CLI/driver already manages the trace), the buffer is
+    additionally exported there at interpreter exit, so
+    ``REPRO_TRACE=trace.json python my_script.py`` works with no code changes.
+    """
+    if is_enabled():
+        return True
+    if env_requests_tracing():
+        enable()
+        path = trace_path_from_env()
+        if path:
+            _register_env_export(path)
+        return True
+    return False
+
+
+@dataclass
+class WorkerTelemetry:
+    """Spans + metrics a worker produced for one cell, shipped to the driver."""
+
+    spans: List[Span] = field(default_factory=list)
+    metrics: Optional[MetricsDelta] = None
+
+    def empty(self) -> bool:
+        return not self.spans and (self.metrics is None or self.metrics.empty())
+
+
+@contextmanager
+def capture() -> Iterator[WorkerTelemetry]:
+    """Worker-side capture of both spans and metric increments.
+
+    Enables telemetry if the worker does not have it yet (spawn start
+    method), collects on a fresh span stack, and fills the yielded
+    :class:`WorkerTelemetry` when the block exits.  The driver folds the
+    result in with :func:`adopt_spans` + :func:`merge_metrics`.
+    """
+    enable()
+    telemetry = WorkerTelemetry()
+    registry = get_metrics()
+    metrics_mark = registry.mark() if registry is not None else None
+    with capture_spans(force=True) as spans:
+        try:
+            yield telemetry
+        finally:
+            if registry is not None and metrics_mark is not None:
+                telemetry.metrics = registry.collect_since(metrics_mark)
+                registry.rollback(metrics_mark)
+    telemetry.spans = spans

@@ -1,0 +1,136 @@
+"""Chrome trace-event export and validation.
+
+The emitted file is the JSON Object Format of the Trace Event specification
+(the format ``chrome://tracing`` and Perfetto load): a top-level object with a
+``traceEvents`` list of complete ("ph": "X") events.  Each span becomes one
+event; timestamps are microseconds relative to the earliest span in the
+export so the numbers stay small, and each producing process keeps its own
+``pid`` lane so cross-process clock skew cannot visually corrupt nesting.
+
+:func:`validate_chrome_trace` checks a written file (or parsed object)
+against the parts of the spec the export relies on — CI uses it as the trace
+smoke gate, and the test suite as a structural oracle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .tracer import Span, trace_spans
+
+__all__ = ["chrome_trace_events", "export_chrome_trace", "validate_chrome_trace"]
+
+
+def _json_safe(value: object) -> object:
+    """Coerce attr values (numpy scalars included) to JSON-encodable types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            return str(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(entry) for entry in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(entry) for key, entry in value.items()}
+    return str(value)
+
+
+def chrome_trace_events(spans: List[Span]) -> List[Dict[str, object]]:
+    """Convert spans to Trace Event complete events (``"ph": "X"``)."""
+    if not spans:
+        return []
+    base = min(span.start for span in spans)
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        args: Dict[str, object] = {
+            str(key): _json_safe(value) for key, value in span.attrs.items()
+        }
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "default",
+                "ph": "X",
+                "ts": (span.start - base) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.pid,
+                "tid": span.pid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    path: Union[str, Path], spans: Optional[List[Span]] = None
+) -> int:
+    """Write the trace (default: the global tracer's buffer) to ``path``.
+
+    Returns the number of spans written.
+    """
+    selected = trace_spans() if spans is None else spans
+    document = {
+        "traceEvents": chrome_trace_events(selected),
+        "displayTimeUnit": "ms",
+    }
+    Path(path).write_text(json.dumps(document, indent=None), encoding="utf-8")
+    return len(selected)
+
+
+def validate_chrome_trace(
+    source: Union[str, Path, Dict[str, object]],
+) -> Dict[str, object]:
+    """Check a trace file (or parsed document) against the trace-event schema.
+
+    Raises :class:`ValueError` on the first structural violation; returns a
+    small summary (event count, categories, pids) on success.
+    """
+    if isinstance(source, (str, Path)):
+        document = json.loads(Path(source).read_text(encoding="utf-8"))
+    else:
+        document = source
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document is missing the traceEvents list")
+    categories: Dict[str, int] = {}
+    pids: Dict[int, int] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] is missing {key!r}")
+        if not isinstance(event["name"], str):
+            raise ValueError(f"traceEvents[{index}].name is not a string")
+        phase = event["ph"]
+        if not isinstance(phase, str) or not phase:
+            raise ValueError(f"traceEvents[{index}].ph is not a phase string")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"traceEvents[{index}].ts is not a timestamp >= 0")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(
+                    f"traceEvents[{index}].dur is required and >= 0 for ph='X'"
+                )
+        category = event.get("cat", "default")
+        if isinstance(category, str):
+            categories[category] = categories.get(category, 0) + 1
+        pid = event["pid"]
+        if isinstance(pid, int):
+            pids[pid] = pids.get(pid, 0) + 1
+    return {
+        "events": len(events),
+        "categories": categories,
+        "pids": sorted(pids),
+    }

@@ -1,0 +1,300 @@
+"""Metrics registry: counters, gauges, and percentile histograms.
+
+Mirrors the tracer's enable/disable model: when metrics are disabled (the
+default) the module-level :func:`counter` / :func:`gauge` / :func:`histogram`
+accessors return shared null instruments whose mutators are no-ops, so
+instrumented code pays one ``is None`` check and nothing else.
+
+Histograms keep their raw observations (sweeps here are thousands of points,
+not millions), so summaries report exact p50/p90/p99 by sorted interpolation
+rather than bucketed approximations.
+
+For worker pools the registry supports the same mark/collect/merge protocol
+as the tracer: :meth:`MetricsRegistry.mark` snapshots positions, ``collect_since``
+returns a pickle-safe :class:`MetricsDelta` of what the worker added, and the
+driver folds it in with :meth:`MetricsRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsDelta",
+    "MetricsMark",
+    "MetricsRegistry",
+    "counter",
+    "disable_metrics",
+    "enable_metrics",
+    "gauge",
+    "get_metrics",
+    "histogram",
+    "merge_metrics",
+    "metrics_enabled",
+    "metrics_summary",
+]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. peak working-set bytes of the latest run)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        """Keep the high-water mark."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Distribution with exact percentile summaries."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile (0 <= q <= 100) by linear interpolation."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        position = (len(ordered) - 1) * (q / 100.0)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> Dict[str, float]:
+        if not self._values:
+            return {"count": 0.0}
+        return {
+            "count": float(len(self._values)),
+            "sum": float(sum(self._values)),
+            "min": min(self._values),
+            "max": max(self._values),
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+    def max(self, value: float) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+CounterLike = Union[Counter, _NullCounter]
+GaugeLike = Union[Gauge, _NullGauge]
+HistogramLike = Union[Histogram, _NullHistogram]
+
+
+@dataclass
+class MetricsMark:
+    """Registry positions at capture start (see :meth:`MetricsRegistry.mark`)."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class MetricsDelta:
+    """Pickle-safe increment shipped from a worker back to the driver."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, List[float]] = field(default_factory=dict)
+
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+
+class MetricsRegistry:
+    """Named instruments for one process."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- reporting -----------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Flat ``{metric-name: {stat: value}}`` snapshot of every instrument."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, instrument in sorted(self._counters.items()):
+            out[name] = {"count": instrument.value}
+        for name, g in sorted(self._gauges.items()):
+            out[name] = {"value": g.value}
+        for name, h in sorted(self._histograms.items()):
+            out[name] = h.summary()
+        return out
+
+    # -- cross-process capture ----------------------------------------
+
+    def mark(self) -> MetricsMark:
+        return MetricsMark(
+            counters={name: c.value for name, c in self._counters.items()},
+            histograms={name: h.count for name, h in self._histograms.items()},
+        )
+
+    def collect_since(self, mark: MetricsMark) -> MetricsDelta:
+        delta = MetricsDelta()
+        for name, instrument in self._counters.items():
+            step = instrument.value - mark.counters.get(name, 0.0)
+            if step:
+                delta.counters[name] = step
+        for name, g in self._gauges.items():
+            delta.gauges[name] = g.value
+        for name, h in self._histograms.items():
+            new = h._values[mark.histograms.get(name, 0):]
+            if new:
+                delta.histograms[name] = list(new)
+        return delta
+
+    def rollback(self, mark: MetricsMark) -> None:
+        """Undo everything since ``mark`` (the captured delta ships instead).
+
+        Keeps a same-process capture from double-counting: the collected
+        increments are subtracted locally exactly once, mirroring how span
+        capture removes spans from the local buffer.  Gauges keep their last
+        value — they are not additive.
+        """
+        for name, instrument in self._counters.items():
+            instrument.value = mark.counters.get(name, 0.0)
+        for name, h in self._histograms.items():
+            del h._values[mark.histograms.get(name, 0):]
+
+    def merge(self, delta: MetricsDelta) -> None:
+        for name, step in delta.counters.items():
+            self.counter(name).inc(step)
+        for name, value in delta.gauges.items():
+            self.gauge(name).max(value)
+        for name, values in delta.histograms.items():
+            self.histogram(name)._values.extend(values)
+
+
+# ----------------------------------------------------------------------
+# Module-level registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def enable_metrics() -> MetricsRegistry:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def disable_metrics() -> None:
+    global _REGISTRY
+    _REGISTRY = None
+
+
+def metrics_enabled() -> bool:
+    return _REGISTRY is not None
+
+
+def get_metrics() -> Optional[MetricsRegistry]:
+    return _REGISTRY
+
+
+def counter(name: str) -> CounterLike:
+    registry = _REGISTRY
+    return _NULL_COUNTER if registry is None else registry.counter(name)
+
+
+def gauge(name: str) -> GaugeLike:
+    registry = _REGISTRY
+    return _NULL_GAUGE if registry is None else registry.gauge(name)
+
+
+def histogram(name: str) -> HistogramLike:
+    registry = _REGISTRY
+    return _NULL_HISTOGRAM if registry is None else registry.histogram(name)
+
+
+def metrics_summary() -> Dict[str, Dict[str, float]]:
+    registry = _REGISTRY
+    return {} if registry is None else registry.summary()
+
+
+def merge_metrics(delta: Optional[MetricsDelta]) -> None:
+    registry = _REGISTRY
+    if registry is not None and delta is not None and not delta.empty():
+        registry.merge(delta)

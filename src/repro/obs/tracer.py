@@ -1,0 +1,389 @@
+"""Hierarchical span tracer with a zero-overhead disabled path.
+
+A :class:`Span` is a finished, pickle-safe record: name, category, wall-aligned
+start timestamp, duration, numeric span/parent ids, the producing process id,
+and a free-form attribute dict.  Spans nest: the tracer keeps a stack of open
+spans per process, and every new span (context-managed or explicitly recorded)
+parents under the innermost open one.
+
+Timestamps combine both clock families: each tracer captures a wall-clock
+epoch (``time.time``) and a monotonic epoch (``time.perf_counter``) at
+construction, and every timestamp is ``epoch_wall + (perf_counter() -
+epoch_perf)``.  Durations therefore have monotonic-clock quality while
+timestamps from different processes still land on one comparable timeline.
+
+When tracing is disabled (the default) the module-level :func:`span` returns a
+shared no-op context manager — no allocation, no clock read, no branch beyond
+a single ``is None`` check — so instrumented code costs nothing in production
+paths.
+
+Cross-process use (the runtime's worker pools) goes through
+:func:`capture_spans` on the worker side — which collects every span finished
+inside the block, detached from any fork-inherited driver state — and
+:func:`adopt_spans` on the driver side, which re-ids the shipped spans into
+the driver's trace and re-parents their roots under a given span.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from types import TracebackType
+from typing import Dict, Iterator, List, Optional, Type, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "SpanContext",
+    "adopt_spans",
+    "add_attrs",
+    "capture_spans",
+    "clear_trace",
+    "current_span_id",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "now",
+    "record_span",
+    "span",
+    "trace_spans",
+    "tracing_enabled",
+]
+
+Attrs = Dict[str, object]
+
+#: Sentinel for :meth:`Tracer.record`'s ``parent_id``: span ids start at 1, so
+#: -1 can never name a real span and means "parent under the current open span".
+CURRENT_PARENT = -1
+
+
+@dataclass
+class Span:
+    """One finished span.  Plain data, safe to pickle across process pools."""
+
+    name: str
+    category: str
+    start: float
+    duration: float
+    span_id: int
+    parent_id: Optional[int]
+    pid: int
+    attrs: Attrs = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class _SpanHandle:
+    """An open span: context manager that records a :class:`Span` on exit."""
+
+    __slots__ = ("_tracer", "name", "category", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, attrs: Attrs) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def add_attrs(self, **attrs: object) -> None:
+        """Attach attributes to this span before it closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._push(self)
+        self._start = self._tracer.now()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._tracer._pop(self, failed=exc_type is not None)
+
+
+class _NullSpan:
+    """Shared no-op stand-in for :class:`_SpanHandle` when tracing is off."""
+
+    __slots__ = ()
+
+    span_id = 0
+    parent_id: Optional[int] = None
+
+    def add_attrs(self, **attrs: object) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+#: What instrumented code receives from :func:`span` — a real open span when
+#: tracing is on, the shared null singleton when it is off.
+SpanContext = Union[_SpanHandle, _NullSpan]
+
+
+class Tracer:
+    """Collects spans for one process on a wall-aligned monotonic timeline."""
+
+    def __init__(self) -> None:
+        self._epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+        self._spans: List[Span] = []
+        self._stack: List[_SpanHandle] = []
+        self._next_id = 1
+        self.pid = os.getpid()
+
+    # -- clock ---------------------------------------------------------
+
+    def now(self) -> float:
+        """Wall-aligned monotonic timestamp in seconds."""
+        return self._epoch_wall + (time.perf_counter() - self._epoch_perf)
+
+    # -- span lifecycle ------------------------------------------------
+
+    def _new_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def current_id(self) -> Optional[int]:
+        return self._stack[-1].span_id if self._stack else None
+
+    def span(self, name: str, category: str = "", **attrs: object) -> _SpanHandle:
+        return _SpanHandle(self, name, category, dict(attrs))
+
+    def add_attrs(self, **attrs: object) -> None:
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    def _push(self, handle: _SpanHandle) -> None:
+        handle.span_id = self._new_id()
+        handle.parent_id = self.current_id()
+        self._stack.append(handle)
+
+    def _pop(self, handle: _SpanHandle, failed: bool) -> None:
+        end = self.now()
+        # Unwind past any handles abandoned by an exception between enters.
+        while self._stack:
+            if self._stack.pop() is handle:
+                break
+        if failed:
+            handle.attrs.setdefault("error", True)
+        self._spans.append(
+            Span(
+                name=handle.name,
+                category=handle.category,
+                start=handle._start,
+                duration=max(0.0, end - handle._start),
+                span_id=handle.span_id,
+                parent_id=handle.parent_id,
+                pid=self.pid,
+                attrs=handle.attrs,
+            )
+        )
+
+    def record(
+        self,
+        name: str,
+        category: str = "",
+        *,
+        start: float,
+        duration: float,
+        attrs: Optional[Attrs] = None,
+        parent_id: Optional[int] = CURRENT_PARENT,
+    ) -> Span:
+        """Append a span with explicit timing (for events timed elsewhere)."""
+        if parent_id == CURRENT_PARENT:
+            parent_id = self.current_id()
+        completed = Span(
+            name=name,
+            category=category,
+            start=start,
+            duration=max(0.0, duration),
+            span_id=self._new_id(),
+            parent_id=parent_id,
+            pid=self.pid,
+            attrs=dict(attrs or {}),
+        )
+        self._spans.append(completed)
+        return completed
+
+    # -- buffer access -------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def mark(self) -> int:
+        """Position in the span buffer, for :meth:`take_since`."""
+        return len(self._spans)
+
+    def take_since(self, mark: int) -> List[Span]:
+        """Remove and return every span finished after ``mark``."""
+        taken = self._spans[mark:]
+        del self._spans[mark:]
+        return taken
+
+    def swap_stack(self, stack: List[_SpanHandle]) -> List[_SpanHandle]:
+        """Replace the open-span stack (worker capture isolation)."""
+        previous = self._stack
+        self._stack = stack
+        return previous
+
+    def adopt(self, spans: List[Span], parent_id: Optional[int]) -> List[Span]:
+        """Re-id foreign spans into this trace, rooting them at ``parent_id``.
+
+        Every shipped span gets a fresh id from this tracer's sequence; parent
+        links inside the shipped set are remapped, and any span whose parent
+        is missing from the set (a root, or a stale fork-inherited id) is
+        re-parented under ``parent_id``.
+        """
+        mapping = {foreign.span_id: self._new_id() for foreign in spans}
+        adopted: List[Span] = []
+        for foreign in spans:
+            remapped = mapping.get(foreign.parent_id or 0, parent_id)
+            adopted.append(
+                replace(foreign, span_id=mapping[foreign.span_id], parent_id=remapped)
+            )
+        self._spans.extend(adopted)
+        return adopted
+
+
+# ----------------------------------------------------------------------
+# Module-level tracer (the fast path checked by every instrumentation site)
+# ----------------------------------------------------------------------
+
+_TRACER: Optional[Tracer] = None
+
+
+def enable_tracing() -> Tracer:
+    """Install (or return) the process-global tracer."""
+    global _TRACER
+    if _TRACER is None:
+        _TRACER = Tracer()
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Drop the global tracer; :func:`span` reverts to the no-op path."""
+    global _TRACER
+    _TRACER = None
+
+
+def tracing_enabled() -> bool:
+    return _TRACER is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def span(name: str, category: str = "", **attrs: object) -> SpanContext:
+    """Open a span under the current one; a shared no-op when disabled."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, category, **attrs)
+
+
+def add_attrs(**attrs: object) -> None:
+    """Attach attributes to the innermost open span, if any."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.add_attrs(**attrs)
+
+
+def record_span(
+    name: str,
+    category: str = "",
+    *,
+    start: float,
+    duration: float,
+    attrs: Optional[Attrs] = None,
+    parent_id: Optional[int] = CURRENT_PARENT,
+) -> Optional[Span]:
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    return tracer.record(
+        name, category, start=start, duration=duration, attrs=attrs, parent_id=parent_id
+    )
+
+
+def now() -> float:
+    """Timestamp on the trace timeline (plain wall clock when disabled)."""
+    tracer = _TRACER
+    return tracer.now() if tracer is not None else time.time()
+
+
+def current_span_id() -> Optional[int]:
+    tracer = _TRACER
+    return tracer.current_id() if tracer is not None else None
+
+
+def trace_spans() -> List[Span]:
+    tracer = _TRACER
+    return tracer.spans() if tracer is not None else []
+
+
+def clear_trace() -> None:
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.clear()
+
+
+def adopt_spans(spans: List[Span], parent_id: Optional[int]) -> List[Span]:
+    tracer = _TRACER
+    if tracer is None or not spans:
+        return []
+    return tracer.adopt(spans, parent_id)
+
+
+@contextmanager
+def capture_spans(force: bool = True) -> Iterator[List[Span]]:
+    """Collect every span finished inside the block (worker-side capture).
+
+    The capture runs on a fresh open-span stack, so spans recorded inside
+    cannot parent under fork-inherited driver spans; captured spans are
+    *removed* from the local buffer (they ship to the driver instead, which
+    also prevents duplicates when a forked worker inherits the driver's
+    buffer).  With ``force`` (the default) tracing is enabled if it is not
+    already — a spawn-started worker has no inherited tracer.
+    """
+    if _TRACER is None and force:
+        enable_tracing()
+    tracer = _TRACER
+    collected: List[Span] = []
+    if tracer is None:
+        yield collected
+        return
+    # A fork-started worker inherits the driver's tracer object; refresh the
+    # pid so its spans carry the worker's identity (epochs stay valid — both
+    # clocks are system-wide).
+    tracer.pid = os.getpid()
+    saved_stack = tracer.swap_stack([])
+    start = tracer.mark()
+    try:
+        yield collected
+    finally:
+        collected.extend(tracer.take_since(start))
+        tracer.swap_stack(saved_stack)

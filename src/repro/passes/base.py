@@ -10,8 +10,11 @@ Every pass runs on the :class:`~repro.circuits.dag.DagCircuit` IR:
 
 A :class:`PassManager` executes named :class:`Stage` groups in order,
 converting the input circuit to a DAG exactly once and back exactly once, and
-records per-pass wall-clock time and instruction deltas in
-``properties["pass_timings"]``.  The :class:`FixedPoint` combinator repeats a
+records one :class:`repro.obs.Span` per executed pass in
+``properties["pass_spans"]`` (mirrored into the global trace when
+:mod:`repro.obs` is enabled); the legacy ``properties["pass_timings"]`` dict
+list is synthesized from those spans on access.  The :class:`FixedPoint`
+combinator repeats a
 pass group until a whole sweep makes no structural modification, which is how
 the optimisation stage iterates cancellation/consolidation to convergence
 instead of one hard-coded sweep.
@@ -23,14 +26,31 @@ also accepts a plain :class:`~repro.circuits.circuit.QuantumCircuit` in
 
 from __future__ import annotations
 
-import time
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.dag import DagCircuit
 from ..exceptions import TranspilerError
+
+
+def legacy_pass_timing(span: obs.Span) -> Dict[str, object]:
+    """The pre-trace-era dict shape of one pass-telemetry span."""
+    return {
+        "pass": span.name,
+        "stage": span.attrs.get("stage"),
+        "seconds": span.duration,
+        "size_before": span.attrs.get("size_before"),
+        "size_after": span.attrs.get("size_after"),
+    }
+
+
+def pass_timings_view(spans: Iterable[obs.Span]) -> List[Dict[str, object]]:
+    """Legacy ``pass_timings`` dict list derived from pass spans."""
+    return [legacy_pass_timing(span) for span in spans]
 
 
 class PropertySet(dict):
@@ -43,10 +63,65 @@ class PropertySet(dict):
     * ``"swaps_inserted"`` — number of SWAP gates added by routing.
     * ``"coupling_map"`` — the target :class:`~repro.hardware.topology.CouplingMap`.
     * ``"pass_history"`` — names of the passes executed, in order.
-    * ``"pass_timings"`` — one ``{pass, stage, seconds, size_before,
-      size_after}`` record per executed pass (the ``--profile-passes`` data).
+    * ``"pass_spans"`` — one :class:`repro.obs.Span` per executed pass
+      (name, stage/size attrs, wall-aligned start, duration) — the single
+      source of pass telemetry.
+    * ``"pass_timings"`` — *virtual*: the legacy ``{pass, stage, seconds,
+      size_before, size_after}`` dict list, synthesized fresh from
+      ``pass_spans`` on every access (the ``--profile-passes`` data).
     * ``"fixed_point_iterations"`` — sweeps each :class:`FixedPoint` loop took.
     """
+
+    def __missing__(self, key):
+        if key == "pass_timings":
+            return pass_timings_view(dict.get(self, "pass_spans", ()))
+        raise KeyError(key)
+
+    def get(self, key, default=None):
+        if key == "pass_timings" and not dict.__contains__(self, key):
+            return pass_timings_view(dict.get(self, "pass_spans", ()))
+        return dict.get(self, key, default)
+
+
+def record_pass_span(
+    properties: PropertySet,
+    pass_name: str,
+    stage: Optional[str],
+    start: float,
+    seconds: float,
+    size_before: int,
+    size_after: int,
+) -> obs.Span:
+    """Record one executed pass in ``properties["pass_spans"]``.
+
+    When :mod:`repro.obs` is enabled the span also lands in the global trace,
+    parented under the innermost open span (the ``transpile`` span); when
+    disabled a detached record is created so per-pass telemetry — and the
+    legacy ``pass_timings`` view over it — keeps working with zero setup.
+    """
+    attrs: Dict[str, object] = {
+        "stage": stage,
+        "size_before": size_before,
+        "size_after": size_after,
+    }
+    tracer = obs.get_tracer()
+    if tracer is not None:
+        span = tracer.record(
+            pass_name, "compiler.pass", start=start, duration=seconds, attrs=attrs
+        )
+    else:
+        span = obs.Span(
+            name=pass_name,
+            category="compiler.pass",
+            start=start,
+            duration=max(0.0, seconds),
+            span_id=0,
+            parent_id=None,
+            pid=os.getpid(),
+            attrs=attrs,
+        )
+    properties.setdefault("pass_spans", []).append(span)
+    return span
 
 
 def record_timing(
@@ -57,15 +132,15 @@ def record_timing(
     size_before: int,
     size_after: int,
 ) -> None:
-    """Append one telemetry record to ``properties["pass_timings"]``."""
-    properties.setdefault("pass_timings", []).append(
-        {
-            "pass": pass_name,
-            "stage": stage,
-            "seconds": seconds,
-            "size_before": size_before,
-            "size_after": size_after,
-        }
+    """Deprecated pre-span shim; forwards to :func:`record_pass_span`."""
+    record_pass_span(
+        properties,
+        pass_name,
+        stage,
+        obs.now() - seconds,
+        seconds,
+        size_before,
+        size_after,
     )
 
 
@@ -259,16 +334,17 @@ class FixedPoint(TransformationPass):
             # object at sweep end would miss those changes.
             before_instructions = dag.instructions
             for single_pass in self.passes:
-                start = time.perf_counter()
+                start = obs.now()
                 size_before = len(dag)
                 dag = single_pass.execute(dag, properties)
                 if dag is None:
                     raise TranspilerError(f"pass {single_pass.name} returned None")
-                record_timing(
+                record_pass_span(
                     properties,
                     single_pass.name,
                     stage,
-                    time.perf_counter() - start,
+                    start,
+                    obs.now() - start,
                     size_before,
                     len(dag),
                 )
@@ -386,17 +462,18 @@ class PassManager:
             properties["_current_stage"] = stage
             if validator is not None:
                 validator.before_pass(single_pass, dag, properties)
-            start = time.perf_counter()
+            start = obs.now()
             size_before = len(dag)
             dag = single_pass.execute(dag, properties)
             if dag is None:
                 raise TranspilerError(f"pass {single_pass.name} returned None")
             if not single_pass.records_own_telemetry:
-                record_timing(
+                record_pass_span(
                     properties,
                     single_pass.name,
                     stage,
-                    time.perf_counter() - start,
+                    start,
+                    obs.now() - start,
                     size_before,
                     len(dag),
                 )

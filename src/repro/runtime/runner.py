@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from traceback import format_exception
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..exceptions import ExecutionError
 from .faults import FaultPlan, is_corrupted
 
@@ -119,6 +120,11 @@ class CellResult:
     attempts: int = 1
     duration: float = 0.0
     error: Optional[ExceptionRecord] = None
+    #: Spans the worker process produced for the final (successful) attempt,
+    #: already adopted into the driver's trace and re-parented under this
+    #: cell's attempt span.  Empty when tracing is off or in serial mode
+    #: (serial cells record straight into the driver trace).
+    spans: List[obs.Span] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -220,21 +226,49 @@ class FailurePolicy:
         return base * (1.0 + self.backoff_jitter * rng.random())
 
 
+@dataclass
+class _TracedValue:
+    """Pool-boundary envelope: the worker's return plus captured telemetry."""
+
+    value: Any
+    telemetry: obs.WorkerTelemetry
+
+
+def _unwrap_traced(value: Any) -> Tuple[Any, Optional[obs.WorkerTelemetry]]:
+    if isinstance(value, _TracedValue):
+        return value.value, value.telemetry
+    return value, None
+
+
 def _invoke(
     worker: Callable[[Any], Any],
     payload: Any,
     index: int,
     attempt: int,
     plan: Optional[FaultPlan],
+    trace_pid: Optional[int] = None,
 ) -> Any:
     """The wrapper every cell attempt runs (in a worker or in-process).
 
     This is where the fault-injection layer hooks in: the plan may crash or
     hang the worker process, raise a transient error, or corrupt the return
     value, before/after the real ``worker(payload)`` call.
+
+    ``trace_pid`` is the driver's pid when the driver is tracing: an attempt
+    running in a *different* process then captures every span (and metric
+    increment) the cell produces and ships it back inside a
+    :class:`_TracedValue` envelope, which the pool loop unwraps and adopts
+    into the driver's trace.  In-process attempts record straight into the
+    driver's tracer, so no envelope is needed.
     """
     if plan is not None:
         plan.apply(index, attempt)
+    if trace_pid is not None and os.getpid() != trace_pid:
+        with obs.capture() as telemetry:
+            value = worker(payload)
+        if plan is not None:
+            value = plan.corrupt(index, attempt, value)
+        return _TracedValue(value, telemetry)
     value = worker(payload)
     if plan is not None:
         value = plan.corrupt(index, attempt, value)
@@ -282,16 +316,22 @@ class CellRunner:
         plan = self._resolve_faults()
         results: List[Optional[CellResult]] = [None] * n
         failures: List[CellResult] = []
-        if jobs <= 1 or n == 1:
-            for index in range(n):
-                result = self._run_cell_serial(index, payloads[index], worker, plan, 0)
-                results[index] = result
-                if not result.ok:
-                    self._permanent_failure(
-                        result, getattr(result, "_exception", None), failures
+        obs.maybe_enable_from_env()
+        with obs.span(
+            "cell_sweep", category="runtime", label=self.label, cells=n, jobs=jobs
+        ):
+            if jobs <= 1 or n == 1:
+                for index in range(n):
+                    result = self._run_cell_serial(
+                        index, payloads[index], worker, plan, 0
                     )
-        else:
-            self._run_pool(payloads, worker, jobs, plan, results, failures)
+                    results[index] = result
+                    if not result.ok:
+                        self._permanent_failure(
+                            result, getattr(result, "_exception", None), failures
+                        )
+            else:
+                self._run_pool(payloads, worker, jobs, plan, results, failures)
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
@@ -363,22 +403,34 @@ class CellRunner:
         while True:
             attempt += 1
             start = time.monotonic()
-            try:
-                value = _invoke(worker, payload, index, attempt, plan)
-                record = self._value_failure(value)
-                if record is None:
-                    return CellResult(
-                        index=index,
-                        status="ok",
-                        value=value,
-                        attempts=attempt,
-                        duration=time.monotonic() - start,
-                    )
-                last, exc_seen = record, None
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                last, exc_seen = ExceptionRecord.from_exception(exc), exc
+            cell_span = obs.span(
+                "cell",
+                category="runtime.cell",
+                label=self.label,
+                index=index,
+                attempt=attempt,
+            )
+            with cell_span:
+                record: Optional[ExceptionRecord] = None
+                value: Any = None
+                try:
+                    value = _invoke(worker, payload, index, attempt, plan)
+                    record = self._value_failure(value)
+                    exc_seen = None
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    record, exc_seen = ExceptionRecord.from_exception(exc), exc
+                cell_span.add_attrs(status="ok" if record is None else "failed")
+            if record is None:
+                return CellResult(
+                    index=index,
+                    status="ok",
+                    value=value,
+                    attempts=attempt,
+                    duration=time.monotonic() - start,
+                )
+            last = record
             if attempt >= self.policy.retries + 1:
                 result = CellResult(
                     index=index,
@@ -389,7 +441,16 @@ class CellRunner:
                 )
                 result._exception = exc_seen  # type: ignore[attr-defined]
                 return result
-            time.sleep(self.policy.backoff_delay(index, attempt))
+            delay = self.policy.backoff_delay(index, attempt)
+            with obs.span(
+                "backoff",
+                category="runtime.backoff",
+                label=self.label,
+                index=index,
+                attempt=attempt,
+                delay=delay,
+            ):
+                time.sleep(delay)
 
     # ------------------------------------------------------------------
     # The pool loop
@@ -409,10 +470,45 @@ class CellRunner:
         pending: deque = deque(range(n))
         delayed: List[Tuple[float, int]] = []  # (ready_time, index) heap
         attempts = [0] * n
-        in_flight: Dict[Any, Tuple[int, float]] = {}  # future -> (index, submitted)
+        # future -> (index, submitted monotonic, submitted trace timestamp)
+        in_flight: Dict[Any, Tuple[int, float, float]] = {}
         pool: Optional[ProcessPoolExecutor] = None
         pool_breaks = 0
         interrupted = False
+        trace_pid = os.getpid() if obs.is_enabled() else None
+
+        def record_attempt(
+            index: int,
+            status: str,
+            submitted_ts: float,
+            telemetry: Optional[obs.WorkerTelemetry] = None,
+        ) -> List[obs.Span]:
+            """Record one completed pool attempt as a driver-side span.
+
+            The span covers submit-to-completion (at most ``jobs`` cells are
+            in flight, so submission is start time), and any telemetry the
+            worker shipped back is adopted into the driver trace re-parented
+            under it.  Returns the adopted worker spans.
+            """
+            if trace_pid is None:
+                return []
+            attempt_span = obs.record_span(
+                "cell",
+                category="runtime.cell",
+                start=submitted_ts,
+                duration=obs.now() - submitted_ts,
+                attrs={
+                    "label": self.label,
+                    "index": index,
+                    "attempt": attempts[index],
+                    "status": status,
+                },
+            )
+            if telemetry is None or attempt_span is None:
+                return []
+            adopted = obs.adopt_spans(telemetry.spans, attempt_span.span_id)
+            obs.merge_metrics(telemetry.metrics)
+            return adopted
 
         def finish(result: CellResult, exc: Optional[BaseException] = None) -> None:
             results[result.index] = result
@@ -427,8 +523,23 @@ class CellRunner:
             exc: Optional[BaseException] = None,
         ) -> None:
             if attempts[index] <= policy.retries:
-                ready = time.monotonic() + policy.backoff_delay(index, attempts[index])
-                heapq.heappush(delayed, (ready, index))
+                delay = policy.backoff_delay(index, attempts[index])
+                heapq.heappush(delayed, (time.monotonic() + delay, index))
+                if trace_pid is not None:
+                    # Pool retries wait on the scheduler heap, not in a
+                    # sleep; the span covers the scheduled delay.
+                    obs.record_span(
+                        "backoff",
+                        category="runtime.backoff",
+                        start=obs.now(),
+                        duration=delay,
+                        attrs={
+                            "label": self.label,
+                            "index": index,
+                            "attempt": attempts[index],
+                            "delay": delay,
+                        },
+                    )
                 return
             finish(
                 CellResult(
@@ -454,9 +565,15 @@ class CellRunner:
                     index = pending.popleft()
                     attempts[index] += 1
                     future = pool.submit(
-                        _invoke, worker, payloads[index], index, attempts[index], plan
+                        _invoke,
+                        worker,
+                        payloads[index],
+                        index,
+                        attempts[index],
+                        plan,
+                        trace_pid,
                     )
-                    in_flight[future] = (index, time.monotonic())
+                    in_flight[future] = (index, time.monotonic(), obs.now())
                 if not in_flight:
                     if delayed:
                         time.sleep(max(0.0, min(delayed[0][0] - time.monotonic(), 0.05)))
@@ -469,22 +586,27 @@ class CellRunner:
                 now = time.monotonic()
                 broken = False
                 for future in done:
-                    index, submitted = in_flight.pop(future)
+                    index, submitted, submitted_ts = in_flight.pop(future)
                     try:
                         value = future.result()
                     except BrokenExecutor:
                         # A worker died; every in-flight cell is implicated.
                         broken = True
-                        in_flight[future] = (index, submitted)
+                        in_flight[future] = (index, submitted, submitted_ts)
                         continue
                     except Exception as exc:
+                        # A raising worker loses its telemetry envelope (the
+                        # exception is the only thing that crosses the pool).
+                        record_attempt(index, "failed", submitted_ts)
                         retry_or_finish(
                             index, "failed", ExceptionRecord.from_exception(exc),
                             now - submitted, exc,
                         )
                         continue
+                    value, telemetry = _unwrap_traced(value)
                     record = self._value_failure(value)
                     if record is not None:
+                        record_attempt(index, "failed", submitted_ts, telemetry)
                         retry_or_finish(index, "failed", record, now - submitted)
                         continue
                     finish(
@@ -494,16 +616,21 @@ class CellRunner:
                             value=value,
                             attempts=attempts[index],
                             duration=now - submitted,
+                            spans=record_attempt(index, "ok", submitted_ts, telemetry),
                         )
                     )
                 if broken:
                     pool_breaks += 1
+                    respawn_start = obs.now()
                     crash_record = ExceptionRecord.from_message(
                         "WorkerCrash",
                         "worker process died (segfault/OOM/killed); "
                         "the process pool was respawned",
                     )
-                    for future, (index, submitted) in list(in_flight.items()):
+                    for future, (index, submitted, submitted_ts) in list(
+                        in_flight.items()
+                    ):
+                        record_attempt(index, "crashed", submitted_ts)
                         retry_or_finish(index, "crashed", crash_record, now - submitted)
                     in_flight.clear()
                     self._stop_pool(pool, hard=True)
@@ -538,11 +665,19 @@ class CellRunner:
                             RuntimeWarning, stacklevel=3,
                         )
                     pool = ProcessPoolExecutor(max_workers=max_workers)
+                    if trace_pid is not None:
+                        obs.record_span(
+                            "pool_respawn",
+                            category="runtime.pool",
+                            start=respawn_start,
+                            duration=obs.now() - respawn_start,
+                            attrs={"label": self.label, "reason": "worker_crash"},
+                        )
                     continue
                 if policy.timeout is not None:
                     expired = [
-                        (future, index, submitted)
-                        for future, (index, submitted) in in_flight.items()
+                        (future, index, submitted, submitted_ts)
+                        for future, (index, submitted, submitted_ts) in in_flight.items()
                         if now - submitted > policy.timeout
                     ]
                     if expired:
@@ -551,21 +686,33 @@ class CellRunner:
                             f"cell exceeded the {policy.timeout:.3g}s wall-clock "
                             f"timeout; its worker was killed",
                         )
-                        expired_ids = {index for _, index, _ in expired}
+                        expired_ids = {index for _, index, _, _ in expired}
                         # The hung workers cannot be cancelled individually:
                         # kill the pool, requeue the innocent in-flight cells
                         # without consuming one of their attempts.
-                        for future, (index, submitted) in list(in_flight.items()):
+                        for future, (index, submitted, submitted_ts) in list(
+                            in_flight.items()
+                        ):
                             if index not in expired_ids:
                                 attempts[index] -= 1
                                 pending.append(index)
-                        for _, index, submitted in expired:
+                        for _, index, submitted, submitted_ts in expired:
+                            record_attempt(index, "timed_out", submitted_ts)
                             retry_or_finish(
                                 index, "timed_out", timeout_record, now - submitted
                             )
                         in_flight.clear()
+                        respawn_start = obs.now()
                         self._stop_pool(pool, hard=True)
                         pool = ProcessPoolExecutor(max_workers=max_workers)
+                        if trace_pid is not None:
+                            obs.record_span(
+                                "pool_respawn",
+                                category="runtime.pool",
+                                start=respawn_start,
+                                duration=obs.now() - respawn_start,
+                                attrs={"label": self.label, "reason": "timeout"},
+                            )
         except KeyboardInterrupt:
             interrupted = True
             completed = sum(result is not None for result in results)

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration
@@ -159,18 +160,22 @@ class DensityMatrixSimulator:
         rho = zero_density(num_qubits)
         noisy = self.noise_model is not None
         damping = noisy and self.include_decoherence and self.decoherence == "damping"
+        unitaries = 0
+        channels = 0
         for instruction in circuit.instructions:
             if not instruction.gate.is_unitary:
                 continue
             rho = apply_unitary_to_density(
                 rho, instruction.gate.matrix(), instruction.qubits, num_qubits
             )
+            unitaries += 1
             if noisy and self.include_gate_errors:
                 channel = self.noise_model.gate_channel(instruction)
                 if channel is not None:
                     rho = apply_channel_to_density(
                         rho, channel, instruction.qubits, num_qubits
                     )
+                    channels += 1
             if damping:
                 duration = self.calibration.gate_duration(
                     instruction.name, instruction.qubits
@@ -179,6 +184,16 @@ class DensityMatrixSimulator:
                 if idle is not None:
                     for qubit in instruction.qubits:
                         rho = apply_channel_to_density(rho, idle, (qubit,), num_qubits)
+                        channels += 1
+        if obs.is_enabled():
+            obs.counter("sim.density.gate_applications").inc(unitaries)
+            obs.counter("sim.density.channel_applications").inc(channels)
+            obs.histogram("sim.density.peak_bytes").observe(float(rho.nbytes))
+            obs.add_attrs(
+                gate_applications=unitaries,
+                channel_applications=channels,
+                peak_bytes=rho.nbytes,
+            )
         return rho.reshape(2**num_qubits, 2**num_qubits)
 
     def _exact_distribution(
@@ -197,14 +212,18 @@ class DensityMatrixSimulator:
             )
         # evolve() skips non-unitary instructions itself, so the reduced
         # circuit needs no measure-stripping copy.
-        rho = self.evolve(reduced)
-        probabilities = density_diagonal(rho.reshape(-1), reduced.num_qubits)
-        distribution = marginal_distribution(
-            probabilities, reduced.num_qubits, compact_measured
-        )
-        distribution = finish_exact_distribution(
-            distribution, circuit, self, len(measured_qubits)
-        )
+        with obs.span(
+            "density.run", category="sim", source=circuit.name,
+            qubits=reduced.num_qubits,
+        ):
+            rho = self.evolve(reduced)
+            probabilities = density_diagonal(rho.reshape(-1), reduced.num_qubits)
+            distribution = marginal_distribution(
+                probabilities, reduced.num_qubits, compact_measured
+            )
+            distribution = finish_exact_distribution(
+                distribution, circuit, self, len(measured_qubits)
+            )
         return distribution, measured_qubits
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from .. import obs
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration
@@ -74,6 +75,20 @@ def estimate_success(
         A :class:`SuccessEstimate` whose ``probability`` is the product of the
         gate, coherence and readout success factors.
     """
+    with obs.span(
+        "estimate_success",
+        category="sim",
+        source=circuit.name,
+        include_readout=include_readout,
+    ):
+        return _estimate_success(circuit, calibration, include_readout)
+
+
+def _estimate_success(
+    circuit: QuantumCircuit,
+    calibration: DeviceCalibration,
+    include_readout: bool,
+) -> SuccessEstimate:
     gate_success = 1.0
     readout_success = 1.0
     num_two_qubit = 0
@@ -108,6 +123,9 @@ def estimate_success(
             num_one_qubit += 1
     duration = circuit_duration(circuit, calibration)
     coherence_success = math.exp(-(duration / calibration.t1 + duration / calibration.t2))
+    if obs.is_enabled():
+        obs.counter("sim.estimator.calls").inc()
+        obs.add_attrs(two_qubit_gates=num_two_qubit, duration_us=duration)
     return SuccessEstimate(
         gate_success=gate_success,
         coherence_success=coherence_success,

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import SimulationError
 from ..hardware.calibration import DeviceCalibration
@@ -330,6 +331,7 @@ class PauliTransferMatrixSimulator:
             )
         num_qubits = circuit.num_qubits
         ops = self.circuit_ops(circuit)
+        raw_ops = len(ops)
         if self.fuse:
             ops = fuse_ptm_ops(ops)
         state = zero_pauli_state(num_qubits)
@@ -338,6 +340,16 @@ class PauliTransferMatrixSimulator:
             state = apply_ptm(state, ptm, qubits, num_qubits)
             if truncate > 0.0:
                 state[np.abs(state) < truncate] = 0.0
+        if obs.is_enabled():
+            obs.counter("sim.ptm.op_applications").inc(len(ops))
+            obs.counter("sim.ptm.fused_ops_saved").inc(raw_ops - len(ops))
+            obs.histogram("sim.ptm.peak_bytes").observe(float(state.nbytes))
+            obs.add_attrs(
+                op_applications=len(ops),
+                raw_ops=raw_ops,
+                fused_ops_saved=raw_ops - len(ops),
+                peak_bytes=state.nbytes,
+            )
         return state
 
     def _exact_distribution(
@@ -354,14 +366,18 @@ class PauliTransferMatrixSimulator:
                 f"{reduced.num_qubits} active qubits exceeds the PTM "
                 f"simulator limit ({self.max_active_qubits})"
             )
-        state = self.evolve(reduced)
-        probabilities = pauli_probabilities(state, reduced.num_qubits)
-        distribution = marginal_distribution(
-            probabilities, reduced.num_qubits, compact_measured
-        )
-        distribution = finish_exact_distribution(
-            distribution, circuit, self, len(measured_qubits)
-        )
+        with obs.span(
+            "ptm.run", category="sim", source=circuit.name,
+            qubits=reduced.num_qubits, fuse=self.fuse,
+        ):
+            state = self.evolve(reduced)
+            probabilities = pauli_probabilities(state, reduced.num_qubits)
+            distribution = marginal_distribution(
+                probabilities, reduced.num_qubits, compact_measured
+            )
+            distribution = finish_exact_distribution(
+                distribution, circuit, self, len(measured_qubits)
+            )
         return distribution, measured_qubits
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..exceptions import SimulationError
 from .result import NoisyResult
@@ -166,6 +167,7 @@ class StatevectorSimulator:
                 raise SimulationError("initial state has the wrong dimension")
             state = state.copy()
         num_qubits = circuit.num_qubits
+        applied = 0
         for instruction in circuit.instructions:
             gate = instruction.gate
             if not gate.is_unitary:
@@ -174,6 +176,11 @@ class StatevectorSimulator:
             # parameter-free gates, so this loop no longer rebuilds the same
             # CNOT/Toffoli matrices once per instruction.
             state = apply_matrix(state, gate.matrix(), instruction.qubits, num_qubits)
+            applied += 1
+        if obs.is_enabled():
+            obs.counter("sim.statevector.gate_applications").inc(applied)
+            obs.histogram("sim.statevector.peak_bytes").observe(float(state.nbytes))
+            obs.add_attrs(gate_applications=applied, peak_bytes=state.nbytes)
         return state
 
     def probabilities(
@@ -214,7 +221,13 @@ class StatevectorSimulator:
         """
         reduced, _, compact_measured = reduce_for_measurement(circuit, measured_qubits)
         # run() skips non-unitary instructions, so no measure-stripping copy.
-        return self.probabilities(reduced, compact_measured)
+        with obs.span(
+            "statevector.run",
+            category="sim",
+            source=circuit.name,
+            qubits=reduced.num_qubits,
+        ):
+            return self.probabilities(reduced, compact_measured)
 
     def run_counts(
         self,
@@ -238,8 +251,15 @@ class StatevectorSimulator:
         )
         if seed is not None:
             self.rng = np.random.default_rng(seed)
-        probs = self.probabilities(reduced, compact_measured)
-        counts = _sample_from_probs(probs, shots, self.rng)
+        with obs.span(
+            "statevector.run",
+            category="sim",
+            source=circuit.name,
+            qubits=reduced.num_qubits,
+            shots=shots,
+        ):
+            probs = self.probabilities(reduced, compact_measured)
+            counts = _sample_from_probs(probs, shots, self.rng)
         return NoisyResult(
             counts=counts, shots=shots, measured_qubits=tuple(measured_qubits)
         )
