@@ -87,6 +87,52 @@ class ExecutionError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Raised by the compile service layer (:mod:`repro.service`).
+
+    Covers misconfiguration of the service/cache machinery itself; the two
+    request-scoped subclasses below distinguish the caller's fault
+    (:class:`ServiceRequestError`) from a compile that permanently failed
+    under the failure policy (:class:`ServiceCompileError`).
+    """
+
+
+class ServiceRequestError(ServiceError):
+    """Raised for a malformed or unresolvable compile request.
+
+    The request itself is at fault — unknown topology, unparseable QASM, an
+    option the selected pipeline rejects — so the HTTP front end maps this to
+    a 400 response.
+    """
+
+
+class ServiceCompileError(ServiceError):
+    """Raised when a dispatched compile permanently failed.
+
+    Carries the structured outcome of the failed cell: the runtime status
+    (``"failed"``/``"timed_out"``/``"crashed"``), how many attempts the
+    failure policy spent, and the worker-side exception type name — so a
+    client can distinguish its own bad input (a compiler rejection) from
+    service-side infrastructure trouble (a crashed worker).
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        status: str = "failed",
+        attempts: int = 1,
+        error_type: str = "",
+    ):
+        super().__init__(*args)
+        self.status = status
+        self.attempts = attempts
+        self.error_type = error_type
+
+
+class ServiceUnavailableError(ServiceError):
+    """Raised for requests caught in a service that is shutting down."""
+
+
 class FaultInjectionError(ReproError):
     """Raised by an injected ``"raise"`` fault from :mod:`repro.runtime.faults`.
 

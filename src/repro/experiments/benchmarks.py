@@ -10,9 +10,10 @@ The sweep is embarrassingly parallel over its (topology, benchmark) cells:
 ``--jobs``) and fans the cells out over a process pool.  Every cell compiles
 with the same deterministic seed it would receive serially, so ``jobs=8``
 reproduces ``jobs=1`` bit for bit.  Compilations are additionally memoized in
-a per-process cache keyed by (benchmark, topology, method, seed), so repeated
-sweeps — and the sensitivity study, which compiles the same circuits — reuse
-them.
+a per-process, content-addressed cache (the service layer's sharded LRU,
+keyed by ``sha256(canonical QASM + topology signature + canonical
+options)``), so repeated sweeps — and the sensitivity study, which compiles
+the same circuits — reuse them.
 """
 
 from __future__ import annotations
@@ -28,7 +29,6 @@ from ..bench_circuits.suite import (
     get_benchmark,
 )
 from ..circuits.circuit import QuantumCircuit
-from ..compiler.pipeline import transpile
 from ..compiler.result import CompilationResult
 from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, near_term_calibration
@@ -43,6 +43,8 @@ from ..runtime import (
     failure_records,
     resolve_jobs,
 )
+from ..service.cache import ShardedLRUCache
+from ..service.jobs import CompileJob, run_job_cached
 from ..sim import (
     EXACT_PROBABILITY_BACKENDS,
     StatevectorSimulator,
@@ -141,12 +143,17 @@ class BenchmarkExperimentResult:
 # ----------------------------------------------------------------------
 # Compile-once cache
 # ----------------------------------------------------------------------
-#: Memoized compilations keyed by (benchmark, topology signature, method,
-#: seed).  Both pipelines are deterministic given a seed, so caching never
-#: changes results; it only removes repeated work when the same cell is
-#: compiled again (re-runs, the sensitivity study, benchmark harnesses).
-#: The cache is per process; pool workers each warm their own copy.
-_COMPILE_CACHE: Dict[tuple, CompilationResult] = {}
+#: The drivers' compile memoization — the same bounded, sharded,
+#: content-addressed LRU the compile service uses (one implementation, one
+#: key recipe: ``sha256(canonical QASM + topology signature + canonical
+#: options)``).  Content addressing subsumes the old (benchmark, topology,
+#: method, seed) tuple *and* closes its two bugs: the cache no longer grows
+#: without bound in a long-lived process, and two calls differing in any
+#: semantic transpile option (``optimization_level``, ``toffoli_mode``, ...)
+#: can never collide on one entry.  Both pipelines are deterministic given a
+#: seed, so caching never changes results.  The cache is per process; pool
+#: workers each warm their own copy.
+_COMPILE_CACHE = ShardedLRUCache(name="compile")
 
 
 def clear_compile_cache() -> None:
@@ -154,8 +161,9 @@ def clear_compile_cache() -> None:
     _COMPILE_CACHE.clear()
 
 
-def _topology_signature(coupling_map: CouplingMap) -> tuple:
-    return (coupling_map.name, coupling_map.num_qubits, tuple(coupling_map.edges))
+def compile_cache_stats():
+    """Counters of the shared compile cache (hits/misses/evictions/bytes)."""
+    return _COMPILE_CACHE.stats()
 
 
 def compile_benchmark_cached(
@@ -164,22 +172,27 @@ def compile_benchmark_cached(
     method: str,
     seed: Optional[int],
     circuit: Optional[QuantumCircuit] = None,
+    **options: object,
 ) -> CompilationResult:
     """Compile a Table 1 benchmark with one pipeline, memoized.
 
+    A thin client of the service's job API: the request is keyed by
+    content (:func:`repro.service.compile_job_key`), so any further
+    ``transpile()`` keyword passed via ``options`` participates in the key
+    and differing option sets never share an entry.
+
     ``circuit`` may pass in an already-built instance of the benchmark to
     avoid regenerating it; it must be the circuit ``get_benchmark(benchmark)``
-    would return, since the cache is keyed by the benchmark label.
+    would return (with content addressing an impostor would merely miss).
     """
-    key = (benchmark, _topology_signature(coupling_map), method, seed)
-    result = _COMPILE_CACHE.get(key)
-    if result is None:
-        if circuit is None:
-            circuit = get_benchmark(benchmark)
-        if method not in ("baseline", "trios"):
-            raise ReproError(f"unknown compilation method {method!r}")
-        result = transpile(circuit, coupling_map, method=method, seed=seed)
-        _COMPILE_CACHE[key] = result
+    if method not in ("baseline", "trios"):
+        raise ReproError(f"unknown compilation method {method!r}")
+    if circuit is None:
+        circuit = get_benchmark(benchmark)
+    job = CompileJob.from_circuit(
+        circuit, coupling_map, method, seed=seed, **options
+    )
+    result, _ = run_job_cached(job, _COMPILE_CACHE)
     return result
 
 

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro benchmarks --backend ptm --exact
     python -m repro sensitivity --exact --jobs 4
     python -m repro compile grovers-9 --pipeline trios
+    python -m repro serve --port 8732          # compilation as a service
     python -m repro all
 
 Each subcommand prints the corresponding table/figure data as plain text (the
@@ -269,6 +270,36 @@ def _build_parser() -> argparse.ArgumentParser:
                            "the CI lint gate")
     _add_observability_flags(lint)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the compile service: JSON-over-HTTP, content-addressed "
+             "sharded cache, request coalescing, batched pool dispatch",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8732,
+                       help="TCP port (default 8732; 0 picks a free port)")
+    serve.add_argument("--cache-mb", type=int, default=256, dest="cache_mb",
+                       help="compile-cache byte budget in MiB (default 256)")
+    serve.add_argument("--shards", type=int, default=8,
+                       help="cache shards, each with its own lock (default 8)")
+    serve.add_argument("--pool-jobs", type=int, default=2, dest="pool_jobs",
+                       help="worker processes per dispatched compile batch "
+                            "(default 2; 0 = all CPUs)")
+    serve.add_argument("--batch-window", type=float, default=0.01,
+                       dest="batch_window", metavar="SECONDS",
+                       help="how long the dispatcher waits for concurrent "
+                            "requests to coalesce into one batch "
+                            "(default 0.01)")
+    serve.add_argument("--max-batch", type=int, default=32, dest="max_batch",
+                       help="maximum unique compiles per batch (default 32)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock timeout per dispatched compile; a "
+                            "hung worker is killed and the compile retried")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per faulted compile (default 1)")
+    _add_observability_flags(serve)
+
     run_all = subparsers.add_parser("all", help="Run everything (may take a minute)")
     _add_observability_flags(run_all)
     return parser
@@ -393,6 +424,30 @@ def _run_compile(benchmark: str, pipeline: str, topology: str, seed: int,
                   f"{record['cnots']} CNOTs, depth {record['depth']}, "
                   f"est. success {record['estimated_success']:.4f}"
                   + ("" if record["admissible"] else " (inadmissible)"))
+
+
+def _run_serve(host: str, port: int, cache_mb: int, shards: int,
+               pool_jobs: int, batch_window: float, max_batch: int,
+               timeout: Optional[float], retries: int) -> int:
+    """The ``repro serve`` subcommand: run the compile service until shutdown."""
+    import asyncio
+
+    from ..runtime import FailurePolicy
+    from ..service import CompileService, ShardedLRUCache
+    from ..service.http import serve as serve_http
+
+    cache = ShardedLRUCache(
+        max_bytes=cache_mb * 1024 * 1024, shards=shards, name="compile"
+    )
+    service = CompileService(
+        cache=cache,
+        pool_jobs=pool_jobs,
+        batch_window=batch_window,
+        max_batch=max_batch,
+        policy=FailurePolicy(timeout=timeout, retries=retries, on_error="skip"),
+    )
+    asyncio.run(serve_http(service, host=host, port=port))
+    return 0
 
 
 def _print_report(report, output_format: str) -> None:
@@ -521,6 +576,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         _run_compile(args.benchmark, args.pipeline, args.topology, args.seed,
                      args.optimization_level, seed_trials=args.seed_trials,
                      jobs=args.jobs)
+    elif args.command == "serve":
+        return _run_serve(args.host, args.port, args.cache_mb, args.shards,
+                          args.pool_jobs, args.batch_window, args.max_batch,
+                          args.timeout, args.retries)
     elif args.command == "lint":
         return _run_lint(args.paths, args.benchmark, args.pipeline,
                          args.topology, args.seed, args.optimization_level,

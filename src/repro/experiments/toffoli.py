@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..circuits.circuit import QuantumCircuit
-from ..compiler.pipeline import compile_baseline, compile_trios
 from ..compiler.result import CompilationResult
 from ..exceptions import ReproError, SimulationError
 from ..hardware.calibration import DeviceCalibration, johannesburg_aug19_2020
@@ -39,8 +38,9 @@ from ..runtime import (
     failure_records,
     resolve_jobs,
 )
+from ..service.jobs import CompileJob, run_job_cached
 from ..sim import get_backend
-from .benchmarks import require_exact_capable_backend
+from .benchmarks import _COMPILE_CACHE, require_exact_capable_backend
 from .stats import geometric_mean
 
 #: The four compiler configurations of Figures 6 and 7, in plot order.
@@ -50,6 +50,16 @@ CONFIGURATIONS = (
     "Trios (6-CNOT Toffoli)",
     "Trios (8-CNOT Toffoli)",
 )
+
+#: Each configuration's (pipeline, transpile options) — the declarative form
+#: the content-addressed job API consumes, replacing the historical
+#: ``compile_baseline``/``compile_trios`` dispatch.
+_CONFIGURATION_OPTIONS: Dict[str, Tuple[str, Dict[str, str]]] = {
+    "Qiskit (baseline)": ("baseline", {"toffoli_mode": "6cnot"}),
+    "Qiskit (8-CNOT Toffoli)": ("baseline", {"toffoli_mode": "8cnot"}),
+    "Trios (6-CNOT Toffoli)": ("trios", {"second_decomposition": "6cnot"}),
+    "Trios (8-CNOT Toffoli)": ("trios", {"second_decomposition": "mapping_aware"}),
+}
 
 
 def toffoli_test_circuit() -> QuantumCircuit:
@@ -69,21 +79,25 @@ def compile_configuration(
     placement: Dict[int, int],
     seed: Optional[int] = None,
 ) -> CompilationResult:
-    """Compile the Toffoli test circuit under one of the four configurations."""
+    """Compile the Toffoli test circuit under one of the four configurations.
+
+    A thin client of the service-layer job API: the compile is memoized in
+    the same content-addressed cache the benchmark sweep and the compile
+    server use (keyed by circuit + topology + the configuration's full
+    option set).  Seedless calls (``seed=None``, the stochastic-routing
+    default here) are intentionally *not* cached — their output is
+    non-reproducible by contract.
+    """
     circuit = toffoli_test_circuit()
-    if configuration == "Qiskit (baseline)":
-        return compile_baseline(circuit, coupling_map, toffoli_mode="6cnot",
-                                layout=placement, seed=seed)
-    if configuration == "Qiskit (8-CNOT Toffoli)":
-        return compile_baseline(circuit, coupling_map, toffoli_mode="8cnot",
-                                layout=placement, seed=seed)
-    if configuration == "Trios (6-CNOT Toffoli)":
-        return compile_trios(circuit, coupling_map, second_decomposition="6cnot",
-                             layout=placement, seed=seed)
-    if configuration == "Trios (8-CNOT Toffoli)":
-        return compile_trios(circuit, coupling_map, second_decomposition="mapping_aware",
-                             layout=placement, seed=seed)
-    raise ReproError(f"unknown configuration {configuration!r}")
+    try:
+        method, options = _CONFIGURATION_OPTIONS[configuration]
+    except KeyError:
+        raise ReproError(f"unknown configuration {configuration!r}") from None
+    job = CompileJob.from_circuit(
+        circuit, coupling_map, method, layout=dict(placement), seed=seed, **options
+    )
+    result, _ = run_job_cached(job, _COMPILE_CACHE)
+    return result
 
 
 @dataclass

@@ -10,6 +10,16 @@ keep working; new code should import from :mod:`repro.runtime`.
 
 from __future__ import annotations
 
+import warnings
+
 from .runtime import run_experiment_cells
+
+warnings.warn(
+    "repro.parallel is deprecated; import run_experiment_cells from "
+    "repro.runtime (or use repro.runtime.CellRunner for structured results, "
+    "retries and timeouts)",
+    DeprecationWarning,
+    stacklevel=2,  # attribute the warning to the importing module
+)
 
 __all__ = ["run_experiment_cells"]

@@ -1,0 +1,225 @@
+"""The sharded, byte-bounded LRU behind every compile cache.
+
+:class:`ShardedLRUCache` is the one cache implementation shared by the
+compile service (:mod:`repro.service.service`) and the experiment drivers'
+compile-once memoization (:func:`repro.experiments.benchmarks.
+compile_benchmark_cached`): string keys — content digests, in practice —
+map to pickled-size-accounted values across ``shards`` independently locked
+shards, each evicting least-recently-used entries once its byte budget is
+exceeded.
+
+Design points:
+
+* **Deterministic sharding.**  A key's shard is derived from SHA-256 of the
+  key, not Python's randomized ``hash()``, so the same key always lands on
+  the same shard across processes and runs — evictions are reproducible,
+  which the service tests assert.
+* **Per-shard locking.**  Each shard has its own :class:`threading.Lock`;
+  two requests touching different shards never contend.  The service's
+  executor threads and the driver's in-process calls share one instance
+  safely.
+* **Byte-size bounds.**  Values are charged their pickled size plus the key
+  length (overridable via ``size_of``); a shard over its budget
+  (``max_bytes // shards``) evicts from the LRU end until it fits.  A value
+  larger than a whole shard budget is rejected (and counted) rather than
+  evicting everything else.
+* **Counters.**  Hits/misses/evictions/insertions are always tracked locally
+  (:class:`CacheStats`) and additionally incremented in the :mod:`repro.obs`
+  metrics registry when telemetry is enabled, under
+  ``cache.<name>.{hits,misses,evictions}``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import obs
+from ..exceptions import ServiceError
+
+#: Default capacity: generous for compile results (a compiled 20-qubit
+#: benchmark pickles to a few hundred KB) while bounding a long-lived server.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Default shard count; power of two, small enough that per-shard budgets
+#: stay useful at small total capacities.
+DEFAULT_SHARDS = 8
+
+
+@dataclass
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+    rejected_oversize: int = 0
+    current_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "rejected_oversize": self.rejected_oversize,
+            "current_bytes": self.current_bytes,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def default_size_of(key: str, value: Any) -> int:
+    """Pickled size of the value plus the key text — the byte charge."""
+    return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)) + len(key)
+
+
+class _Shard:
+    """One locked LRU segment: an :class:`OrderedDict` in recency order."""
+
+    __slots__ = ("lock", "entries", "bytes")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        #: key -> (value, charged size); most-recently-used last.
+        self.entries: "OrderedDict[str, tuple]" = OrderedDict()
+        self.bytes = 0
+
+
+class ShardedLRUCache:
+    """A thread-safe, sharded, byte-size-bounded LRU cache over string keys.
+
+    Args:
+        max_bytes: Total byte budget, split evenly across the shards.
+        shards: Number of independently locked shards (``>= 1``).
+        size_of: Charge function ``(key, value) -> int``; defaults to
+            :func:`default_size_of` (pickled size + key length).
+        name: Label used for the ``cache.<name>.*`` obs counters.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        shards: int = DEFAULT_SHARDS,
+        size_of: Optional[Callable[[str, Any], int]] = None,
+        name: str = "cache",
+    ):
+        if shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {shards}")
+        if max_bytes < 1:
+            raise ServiceError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.num_shards = int(shards)
+        self.shard_budget = max(1, self.max_bytes // self.num_shards)
+        self.size_of = size_of or default_size_of
+        self.name = name
+        self._shards = [_Shard() for _ in range(self.num_shards)]
+        self._stats_lock = threading.Lock()
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def _shard_for(self, key: str) -> _Shard:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return self._shards[int.from_bytes(digest[:8], "big") % self.num_shards]
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, freshened to most-recently-used; ``None`` on miss."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is not None:
+                shard.entries.move_to_end(key)
+        if entry is None:
+            self._count("misses")
+            return None
+        self._count("hits")
+        return entry[0]
+
+    def put(self, key: str, value: Any) -> bool:
+        """Insert (or refresh) an entry; returns False if it was oversize.
+
+        A value whose charge exceeds one shard's whole budget is *not*
+        inserted — caching it would evict every co-resident entry for a
+        value unlikely to be re-read before it is itself evicted.
+        """
+        size = int(self.size_of(key, value))
+        if size > self.shard_budget:
+            self._count("rejected_oversize")
+            return False
+        shard = self._shard_for(key)
+        evicted = 0
+        with shard.lock:
+            old = shard.entries.pop(key, None)
+            if old is not None:
+                shard.bytes -= old[1]
+            shard.entries[key] = (value, size)
+            shard.bytes += size
+            while shard.bytes > self.shard_budget and len(shard.entries) > 1:
+                _, (_, evicted_size) = shard.entries.popitem(last=False)
+                shard.bytes -= evicted_size
+                evicted += 1
+        self._count("insertions")
+        if evicted:
+            self._count("evictions", evicted)
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry in every shard (counters are preserved)."""
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
+                shard.bytes = 0
+
+    def __len__(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards)
+
+    def __contains__(self, key: str) -> bool:
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.entries
+
+    def keys(self) -> List[str]:
+        """Every resident key (LRU→MRU order within each shard)."""
+        keys: List[str] = []
+        for shard in self._shards:
+            with shard.lock:
+                keys.extend(shard.entries)
+        return keys
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def _count(self, field: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self._stats, field, getattr(self._stats, field) + amount)
+        if field in ("hits", "misses", "evictions") and obs.is_enabled():
+            obs.counter(f"cache.{self.name}.{field}").inc(amount)
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters plus current occupancy."""
+        with self._stats_lock:
+            snapshot = CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                insertions=self._stats.insertions,
+                rejected_oversize=self._stats.rejected_oversize,
+            )
+        for shard in self._shards:
+            with shard.lock:
+                snapshot.current_bytes += shard.bytes
+                snapshot.entries += len(shard.entries)
+        return snapshot

@@ -1,0 +1,91 @@
+"""A small synchronous client for the compile service's HTTP API.
+
+Used by the CI smoke script and the service benchmark; thin on purpose —
+one ``http.client`` connection per call (the server closes connections per
+request anyway), JSON in/out, and a ``(status, payload)`` pair back so
+callers can assert on status codes without exception gymnastics.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..exceptions import ServiceError
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8732, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One HTTP exchange; returns ``(status_code, decoded_json_body)``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"compile service at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(text) if text else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"non-JSON response from service: {text[:200]!r}") from exc
+        return response.status, decoded
+
+    # ------------------------------------------------------------------
+    # Endpoint wrappers
+    # ------------------------------------------------------------------
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", "/stats")
+
+    def shutdown(self) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/shutdown")
+
+    def compile(
+        self,
+        qasm: str,
+        target: str,
+        method: str = "trios",
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = {
+            "qasm": qasm,
+            "target": target,
+            "method": method,
+            "options": dict(options or {}),
+        }
+        return self.request("POST", "/compile", body)
+
+    def wait_until_healthy(self, attempts: int = 100, delay: float = 0.1) -> bool:
+        """Poll ``/healthz`` until the server answers; True when it did."""
+        import time
+
+        for _ in range(attempts):
+            try:
+                status, body = self.healthz()
+            except ServiceError:
+                time.sleep(delay)
+                continue
+            if status == 200 and body.get("status") == "ok":
+                return True
+            time.sleep(delay)
+        return False

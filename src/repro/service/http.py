@@ -1,0 +1,248 @@
+"""A minimal JSON-over-HTTP front end for the compile service.
+
+Implements just enough HTTP/1.1 on ``asyncio.start_server`` to serve the
+compile API without external dependencies (the repo's hard constraint):
+request-line + headers + ``Content-Length`` body in, a JSON document out,
+``Connection: close`` per request.
+
+Endpoints:
+
+``GET /healthz``
+    ``{"status": "ok"}`` once the service is accepting requests.
+``GET /stats``
+    Service counters (requests/hits/misses/coalesced/pool_compiles) and the
+    cache's counters (hits/misses/evictions/bytes/entries).
+``POST /compile``
+    Body ``{"qasm": "...", "target": "<topology>", "method": "trios",
+    "options": {"seed": 11, ...}}``; responds with the compiled QASM, the
+    content key, and how the request was served (``"miss"``/``"hit"``/
+    ``"coalesced"``/``"uncached"``).  Malformed requests and compiler
+    rejections are 400s; infrastructure failures (crashed workers,
+    timeouts) are 500s — both carry a structured JSON error body.
+``POST /shutdown``
+    Acknowledges with the final stats, then gracefully stops the server
+    (the ``repro serve`` process exits 0).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..exceptions import (
+    ServiceCompileError,
+    ServiceError,
+    ServiceRequestError,
+    ServiceUnavailableError,
+)
+from .service import USER_ERROR_TYPES, CompileRequest, CompileService
+
+#: Refuse request bodies beyond this size; a QASM circuit is kilobytes.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServiceHTTPServer:
+    """Serve a :class:`CompileService` over HTTP; see the module docstring."""
+
+    def __init__(
+        self,
+        service: CompileService,
+        host: str = "127.0.0.1",
+        port: int = 8732,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.shutdown_requested: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and start serving; returns the bound port (for ``port=0``)."""
+        self.shutdown_requested = asyncio.Event()
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``POST /shutdown`` (or :meth:`stop`) arrives."""
+        assert self.shutdown_requested is not None
+        await self.shutdown_requested.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body = await self._handle_request(reader)
+        except Exception as exc:  # defensive: a handler bug must not kill accept()
+            status, body = 500, {"error": "internal", "detail": str(exc)}
+        try:
+            payload = json.dumps(body).encode("utf-8")
+            reason = _REASONS.get(status, "Unknown")
+            writer.write(
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii")
+            )
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return 400, {"error": "bad_request", "detail": "unreadable request"}
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "bad_request", "detail": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return 400, {"error": "bad_request", "detail": "bad Content-Length"}
+        if content_length > MAX_BODY_BYTES:
+            return 413, {
+                "error": "payload_too_large",
+                "detail": f"body exceeds {MAX_BODY_BYTES} bytes",
+            }
+        body = b""
+        if content_length:
+            body = await reader.readexactly(content_length)
+        return await self._route(method, path, body)
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "method_not_allowed"}
+            return 200, {"status": "ok" if self.service.running else "stopping"}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "method_not_allowed"}
+            return 200, self.service.stats_json()
+        if path == "/compile":
+            if method != "POST":
+                return 405, {"error": "method_not_allowed"}
+            return await self._handle_compile(body)
+        if path == "/shutdown":
+            if method != "POST":
+                return 405, {"error": "method_not_allowed"}
+            stats = self.service.stats_json()
+            assert self.shutdown_requested is not None
+            self.shutdown_requested.set()
+            return 200, {"status": "shutting down", **stats}
+        return 404, {"error": "not_found", "detail": path}
+
+    async def _handle_compile(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": "bad_request", "detail": f"invalid JSON: {exc}"}
+        try:
+            request = CompileRequest.from_json(payload)
+            response = await self.service.compile(request)
+        except ServiceRequestError as exc:
+            return 400, {"error": "bad_request", "detail": str(exc)}
+        except ServiceCompileError as exc:
+            # The worker-side exception type decides fault attribution: a
+            # compiler rejection is the client's bug, a crash/timeout ours.
+            status = 400 if exc.error_type in USER_ERROR_TYPES else 500
+            return status, {
+                "error": "compile_failed",
+                "detail": str(exc),
+                "status": exc.status,
+                "attempts": exc.attempts,
+                "error_type": exc.error_type,
+            }
+        except ServiceUnavailableError as exc:
+            return 503, {"error": "unavailable", "detail": str(exc)}
+        except ServiceError as exc:
+            return 500, {"error": "service_error", "detail": str(exc)}
+        return 200, response.to_json()
+
+
+async def serve(
+    service: CompileService,
+    host: str = "127.0.0.1",
+    port: int = 8732,
+    announce: bool = True,
+) -> Dict[str, Any]:
+    """Run the HTTP server until ``POST /shutdown``; returns the final stats.
+
+    The ``repro serve`` CLI wraps this in ``asyncio.run`` and additionally
+    wires SIGINT/SIGTERM to the shutdown event.
+    """
+    server = ServiceHTTPServer(service, host=host, port=port)
+    bound_port = await server.start()
+    if announce:
+        print(f"[serve] compile service listening on http://{host}:{bound_port}")
+        print(
+            "[serve] endpoints: GET /healthz, GET /stats, "
+            "POST /compile, POST /shutdown"
+        )
+    try:
+        loop = asyncio.get_running_loop()
+        import signal
+
+        assert server.shutdown_requested is not None
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.shutdown_requested.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # e.g. non-main thread or unsupported platform
+    except ImportError:  # pragma: no cover
+        pass
+    await server.serve_until_shutdown()
+    stats = service.stats_json()
+    if announce:
+        print(f"[serve] shut down cleanly: {json.dumps(stats['service'])}")
+    return stats

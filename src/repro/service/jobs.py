@@ -1,0 +1,355 @@
+"""Content-addressed compile jobs: one key recipe for drivers and server.
+
+A :class:`CompileJob` freezes everything that determines a compiled circuit —
+the canonical QASM of the input, the target topology's signature, the
+pipeline name, and the *fully resolved* option set — into a single SHA-256
+key.  The experiment drivers (:func:`repro.experiments.benchmarks.
+compile_benchmark_cached`, the Toffoli configurations) and the compile
+service (:mod:`repro.service.service`) all build their cache keys here, so a
+result cached by one is a hit for the others and the historical
+options-blind-key bug class cannot recur.
+
+The key recipe (also documented in the README's service section)::
+
+    sha256("repro-compile-job/v1" + method + topology_signature
+           + canonical_options + canonical_qasm)
+
+* ``canonical_qasm`` is ``to_qasm(circuit)`` — PR 5's bit-exact QASM
+  round-trip makes the text a faithful content address for the circuit.
+* ``topology_signature`` is the device name, qubit count and edge list.
+* ``canonical_options`` resolves every semantic ``transpile()`` option to
+  its effective value (including per-method defaults derived from the
+  pipeline's stage list), sorts them, and renders each canonically — so
+  ``transpile(c, t)`` and ``transpile(c, t, optimization_level=1)`` share a
+  key, while ``optimization_level=2`` never collides with either.
+  Options that cannot change the compiled output (``jobs``, ``validate``)
+  are excluded, so varying them never fragments the cache.
+
+Caching safety: a job whose resolved seed is ``None`` under stochastic
+routing is **not cacheable** (:attr:`CompileJob.cacheable`) — its output is
+intentionally non-reproducible, and serving a memoized copy would silently
+change that contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.qasm import from_qasm, to_qasm
+from ..compiler.pipeline import PIPELINES, transpile
+from ..compiler.result import CompilationResult
+from ..exceptions import ReproError, ServiceRequestError
+from ..hardware.topology import CouplingMap
+from ..passes.layout import Layout
+from .cache import ShardedLRUCache
+
+#: Version tag mixed into every key; bump when the recipe changes shape.
+_KEY_VERSION = "repro-compile-job/v1"
+
+#: ``transpile()`` options that cannot change the compiled circuit: the
+#: level-3 search parallelism and the validation mode only affect *how* the
+#: result is produced/checked, never its bytes.  They are excluded from the
+#: canonical option tuple so varying them shares cache entries.
+NON_SEMANTIC_OPTIONS = frozenset({"jobs", "validate"})
+
+#: Method-independent ``transpile()`` defaults, mirrored here so the key is
+#: computed without running a compile.  ``tests/test_service.py`` pins this
+#: mirror against the real signature.
+_COMMON_DEFAULTS: Dict[str, Any] = {
+    "layout": "greedy",
+    "optimization_level": 1,
+    "seed": 2021,
+    "routing": "stochastic",
+    "noise_aware": False,
+    "calibration": None,
+    "seed_trials": None,
+}
+
+#: Stage-conditional options and the ``transpile()`` default each assumes
+#: when its consuming stage is present (see the rejection table in
+#: :func:`repro.compiler.pipeline.transpile`).
+_STAGE_OPTION_DEFAULTS: Tuple[Tuple[str, str, Any], ...] = (
+    ("toffoli_mode", "unroll", "6cnot"),
+    ("second_decomposition", "second_decompose", "mapping_aware"),
+    ("overlap_optimization", "route_trios", True),
+)
+
+
+def topology_signature(coupling_map: CouplingMap) -> tuple:
+    """The hashable identity of a target device: name, size, edge list."""
+    return (coupling_map.name, coupling_map.num_qubits, tuple(coupling_map.edges))
+
+
+def _transpile_option_names() -> frozenset:
+    """Every keyword ``transpile()`` accepts beyond (circuit, target, method)."""
+    parameters = inspect.signature(transpile).parameters
+    return frozenset(parameters) - {"circuit", "target", "method"}
+
+
+#: Resolved once at import; the signature is static.
+_TRANSPILE_OPTIONS = _transpile_option_names()
+
+
+def resolve_options(method: str, options: Mapping[str, Any]) -> Dict[str, Any]:
+    """The *effective* semantic option set for one compile call.
+
+    Starts from ``transpile()``'s defaults (including the per-method
+    stage-conditional ones), folds the legacy ``optimize`` boolean into
+    ``optimization_level``, overlays the caller's options, and drops the
+    non-semantic ones.  Unknown option names raise
+    :class:`ServiceRequestError` up front rather than a ``TypeError`` deep
+    inside a worker.
+    """
+    try:
+        stage_names = PIPELINES[method]
+    except KeyError as exc:
+        raise ServiceRequestError(f"unknown compilation method {method!r}") from exc
+    unknown = set(options) - _TRANSPILE_OPTIONS
+    if unknown:
+        raise ServiceRequestError(
+            f"unknown transpile option(s) {sorted(unknown)}; "
+            f"valid options: {sorted(_TRANSPILE_OPTIONS)}"
+        )
+    resolved = dict(_COMMON_DEFAULTS)
+    for option, consumer, default in _STAGE_OPTION_DEFAULTS:
+        if consumer in stage_names:
+            resolved[option] = default
+        elif options.get(option) is not None:
+            # Mirror transpile()'s "has no effect" rejection so the bad
+            # request fails at key-resolution time, before any dispatch.
+            raise ServiceRequestError(
+                f"{option}={options[option]!r} has no effect: pipeline "
+                f"{method!r} has no {consumer!r} stage"
+            )
+    overlay = {
+        name: value
+        for name, value in options.items()
+        if name not in NON_SEMANTIC_OPTIONS and value is not None
+    }
+    # The legacy boolean maps onto optimization_level exactly as transpile()
+    # resolves it; both present is the error transpile() would raise.
+    if "optimize" in overlay:
+        if "optimization_level" in overlay:
+            raise ServiceRequestError(
+                "pass either optimization_level or optimize, not both"
+            )
+        overlay["optimization_level"] = 1 if overlay.pop("optimize") else 0
+    for name, value in overlay.items():
+        if name in resolved or name in _TRANSPILE_OPTIONS:
+            resolved[name] = value
+    # An explicit seed=None is semantic (seedless stochastic routing), not
+    # "use the default": honour it in the resolved set.
+    if "seed" in options and options["seed"] is None:
+        resolved["seed"] = None
+    return resolved
+
+
+def _canonical_value(value: Any) -> str:
+    """A stable, type-prefixed rendering of one option value."""
+    if isinstance(value, Layout):
+        value = value.to_dict()
+    if isinstance(value, Mapping):
+        items = sorted((int(k), int(v)) for k, v in value.items())
+        return "map:" + ",".join(f"{k}->{v}" for k, v in items)
+    if isinstance(value, bool):
+        return f"bool:{value}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, float):
+        return f"float:{value.hex()}"
+    if value is None:
+        return "none"
+    if isinstance(value, str):
+        return f"str:{value}"
+    if isinstance(value, (tuple, list)):
+        return "seq:[" + ",".join(_canonical_value(v) for v in value) + "]"
+    raise ServiceRequestError(
+        f"option value {value!r} of type {type(value).__name__} cannot be "
+        f"canonicalised for the compile-cache key"
+    )
+
+
+def canonical_options(
+    method: str, options: Mapping[str, Any]
+) -> Tuple[Tuple[str, str], ...]:
+    """The resolved option set as a sorted, canonically rendered tuple."""
+    resolved = resolve_options(method, options)
+    return tuple(
+        (name, _canonical_value(value)) for name, value in sorted(resolved.items())
+    )
+
+
+def compile_job_key(
+    canonical_qasm: str,
+    topology: tuple,
+    method: str,
+    options: Mapping[str, Any],
+) -> str:
+    """The SHA-256 content address of one compile job (hex digest)."""
+    rendered_options = ";".join(
+        f"{name}={value}" for name, value in canonical_options(method, options)
+    )
+    payload = "\n".join(
+        (
+            _KEY_VERSION,
+            f"method={method}",
+            f"topology={topology!r}",
+            f"options={rendered_options}",
+            "qasm:",
+            canonical_qasm,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: Raw QASM text digest → canonical QASM.  Bounded like every other cache
+#: here; keeps the warm-path key derivation free of parsing entirely.
+_CANONICAL_QASM_CACHE = ShardedLRUCache(max_bytes=32 * 1024 * 1024, name="qasm")
+
+
+@dataclass
+class CompileJob:
+    """One fully specified compile: content key + everything to execute it.
+
+    ``options`` holds exactly what the caller passed (defaults resolved only
+    for the *key*), so execution forwards precisely the user's intent and
+    ``transpile()``'s option-rejection rules still apply per pipeline.
+    """
+
+    qasm: str
+    coupling_map: CouplingMap
+    method: str
+    options: Dict[str, Any] = field(default_factory=dict)
+    key: str = ""
+    #: The parsed/original circuit, carried to skip a re-parse at execution.
+    circuit: Optional[QuantumCircuit] = None
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: QuantumCircuit,
+        coupling_map: CouplingMap,
+        method: str,
+        **options: Any,
+    ) -> "CompileJob":
+        """A job from an in-memory circuit (the drivers' entry point)."""
+        qasm = to_qasm(circuit)
+        return cls._build(qasm, circuit, coupling_map, method, options)
+
+    @classmethod
+    def from_qasm(
+        cls,
+        text: str,
+        coupling_map: CouplingMap,
+        method: str,
+        **options: Any,
+    ) -> "CompileJob":
+        """A job from QASM text (the service's entry point).
+
+        The text is parsed and re-emitted so formatting differences never
+        produce distinct keys for the same circuit.  The raw-text →
+        canonical-text step is memoized (bounded, content-addressed), so a
+        warm-cache request never pays the parse again.
+        """
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        canonical = _CANONICAL_QASM_CACHE.get(digest)
+        circuit: Optional[QuantumCircuit] = None
+        if canonical is None:
+            try:
+                circuit = from_qasm(text)
+            except ReproError as exc:
+                raise ServiceRequestError(f"unparseable QASM: {exc}") from exc
+            canonical = to_qasm(circuit)
+            _CANONICAL_QASM_CACHE.put(digest, canonical)
+        return cls._build(canonical, circuit, coupling_map, method, options)
+
+    @classmethod
+    def _build(
+        cls,
+        qasm: str,
+        circuit: Optional[QuantumCircuit],
+        coupling_map: CouplingMap,
+        method: str,
+        options: Mapping[str, Any],
+    ) -> "CompileJob":
+        options = dict(options)
+        key = compile_job_key(
+            qasm, topology_signature(coupling_map), method, options
+        )
+        return cls(
+            qasm=qasm,
+            coupling_map=coupling_map,
+            method=method,
+            options=options,
+            key=key,
+            circuit=circuit,
+        )
+
+    @property
+    def cacheable(self) -> bool:
+        """False when the compile is intentionally non-reproducible.
+
+        Seedless stochastic routing draws from an unseeded RNG; caching such
+        a result would freeze one arbitrary draw forever, silently changing
+        the caller's semantics.  Everything else is deterministic.
+        """
+        resolved = resolve_options(self.method, self.options)
+        return not (
+            resolved.get("seed") is None
+            and resolved.get("routing") == "stochastic"
+        )
+
+
+def execute_compile_job(job: CompileJob) -> CompilationResult:
+    """Run one job through ``transpile()`` with exactly the caller's options."""
+    circuit = job.circuit if job.circuit is not None else from_qasm(job.qasm)
+    return transpile(circuit, job.coupling_map, method=job.method, **job.options)
+
+
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """A compiled result rendered for serving: what the service caches.
+
+    Rendering the compiled circuit to QASM costs tens of milliseconds for the
+    larger Fig 9/10 benchmarks — far more than a cache lookup — so it happens
+    exactly once, in the pool worker, and every subsequent hit ships these
+    pre-rendered bytes untouched.
+    """
+
+    method: str
+    qasm: str
+    cnots: int
+    depth: int
+    swaps: int
+
+    @classmethod
+    def from_result(cls, result: CompilationResult) -> "CompiledArtifact":
+        return cls(
+            method=result.method,
+            qasm=to_qasm(result.circuit),
+            cnots=result.two_qubit_gate_count,
+            depth=result.depth,
+            swaps=result.swaps_inserted,
+        )
+
+
+def run_job_cached(
+    job: CompileJob, cache: ShardedLRUCache
+) -> Tuple[CompilationResult, str]:
+    """Serve a job from the cache, compiling on a miss; returns (result, how).
+
+    ``how`` is ``"hit"``, ``"miss"`` or ``"uncached"`` (a non-cacheable job,
+    which bypasses the cache entirely — including its counters).
+    """
+    if not job.cacheable:
+        return execute_compile_job(job), "uncached"
+    cached = cache.get(job.key)
+    if cached is not None:
+        return cached, "hit"
+    result = execute_compile_job(job)
+    cache.put(job.key, result)
+    return result, "miss"
